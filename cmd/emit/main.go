@@ -1,0 +1,68 @@
+// Command emit compiles a program into a standalone Go verifier — the
+// analogue of Rocker's Promela generation (§7): the original tool emitted
+// an instrumented Spin model; this one emits an instrumented, specialized
+// Go program that performs the same §5 search when built and run.
+//
+// Usage:
+//
+//	emit file.lit > verifier.go && go run verifier.go
+//	emit -corpus peterson-ra -o verifier.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/emit"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func main() {
+	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
+	out := flag.String("o", "", "output file (default stdout)")
+	corpusName := flag.String("corpus", "", "compile a built-in corpus program")
+	flag.Parse()
+
+	var program *lang.Program
+	switch {
+	case *corpusName != "":
+		e, err := litmus.Get(*corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		program = e.Program()
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		program, err = parser.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: emit [flags] file.lit")
+		os.Exit(2)
+	}
+
+	src, err := emit.Generate(program, emit.Options{AbstractVals: !*full})
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "emit: wrote %s (%d bytes); run with: go run %s\n", *out, len(src), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emit:", err)
+	os.Exit(2)
+}

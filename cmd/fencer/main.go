@@ -1,0 +1,90 @@
+// Command fencer enforces robustness: given a program that is not
+// execution-graph robust against RA, it searches for a minimal set of
+// SC fences (Example 3.6's FADDs on a distinguished shared location) whose
+// insertion makes the program robust, then re-verifies the strengthened
+// program — the workflow the paper's introduction proposes.
+//
+// Usage:
+//
+//	fencer [flags] file.lit
+//	fencer -corpus SB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fence"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func main() {
+	maxRepairs := flag.Int("maxrepairs", 4, "largest repair set to try")
+	strategy := flag.String("strategy", "fences", "repair moves: fences, rmws or mixed")
+	corpusName := flag.String("corpus", "", "repair a built-in corpus program")
+	show := flag.Bool("print", true, "print the strengthened program")
+	flag.Parse()
+
+	var program *lang.Program
+	switch {
+	case *corpusName != "":
+		e, err := litmus.Get(*corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		program = e.Program()
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		program, err = parser.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fencer [flags] file.lit")
+		os.Exit(2)
+	}
+
+	var strat fence.Strategy
+	switch *strategy {
+	case "fences":
+		strat = fence.Fences
+	case "rmws":
+		strat = fence.RMWs
+	case "mixed":
+		strat = fence.Mixed
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	placements, fixed, err := fence.Enforce(program, fence.Options{MaxRepairs: *maxRepairs, Strategy: strat})
+	if err != nil {
+		fatal(err)
+	}
+	if len(placements) == 0 {
+		fmt.Printf("%s is already robust against RA; no fences needed\n", program.Name)
+		return
+	}
+	fmt.Printf("%s: robust after %d repair(s):\n", program.Name, len(placements))
+	for _, pl := range placements {
+		th := &program.Threads[pl.Tid]
+		verb := "fence before"
+		if pl.Kind == fence.StrengthenWrite {
+			verb = "strengthen"
+		}
+		fmt.Printf("  %s: %s %q\n", th.Name, verb, program.FmtInst(th, &th.Insts[pl.At]))
+	}
+	if *show {
+		fmt.Println()
+		fmt.Print(fixed.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fencer:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,125 @@
+// Command fig7 regenerates the paper's Figure 7 evaluation table over the
+// embedded corpus:
+//
+//	Res     execution-graph robustness against RA (✓/✗), decided by the
+//	        §5 instrumented-SC reduction (cmd/rocker's engine)
+//	#T/LoC  program shape
+//	Time    verification time and explored states
+//	SC      plain SC exploration (assertions only) for comparison
+//	TSO     the Trencher-column stand-in: precise state robustness
+//	        against x86-TSO (see DESIGN.md for the substitution notes)
+//
+// Absolute times differ from the paper (different machine, different model
+// checker, no gcc compilation phase); the verdicts and the relative shape
+// (instrumented vs SC-only cost, which rows are the expensive ones) are
+// the reproduction targets — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fig7 [-big] [-tso] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/staterobust"
+)
+
+func main() {
+	withBig := flag.Bool("big", false, "include the multi-million-state rows (lamport2-3-ra; minutes of runtime)")
+	withTSO := flag.Bool("tso", true, "run the TSO state-robustness baseline column")
+	markdown := flag.Bool("markdown", false, "emit a markdown table")
+	flag.Parse()
+
+	type row struct {
+		name               string
+		res                string
+		threads, loc       int
+		states             int
+		elapsed            time.Duration
+		scElapsed          time.Duration
+		tsoRes, tsoElapsed string
+		ok                 bool
+	}
+	var rows []row
+	mismatches := 0
+	for _, e := range litmus.Fig7() {
+		if e.Big && !*withBig {
+			rows = append(rows, row{name: e.Name, res: "(skipped; rerun with -big)", ok: true})
+			continue
+		}
+		p := e.Program()
+		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: e.Big})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig7: %s: %v\n", e.Name, err)
+			continue
+		}
+		sc, err := core.VerifySC(p, core.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig7: %s: SC: %v\n", e.Name, err)
+			continue
+		}
+		r := row{
+			name:      e.Name,
+			threads:   p.NumThreads(),
+			loc:       p.LoC(),
+			states:    v.States,
+			elapsed:   v.Elapsed.Round(time.Millisecond),
+			scElapsed: sc.Elapsed.Round(time.Millisecond),
+			ok:        v.Robust == e.RobustRA,
+		}
+		if v.Robust {
+			r.res = "✓"
+		} else {
+			r.res = "✗"
+		}
+		if !r.ok {
+			mismatches++
+			r.res += " (MISMATCH vs paper)"
+		}
+		if *withTSO && !e.Big && e.Name != "nbw-w-lr-rl" {
+			start := time.Now()
+			res, err := staterobust.CheckTSO(p, staterobust.Limits{MaxStates: 30_000_000, TSOBufCap: 4})
+			switch {
+			case err != nil:
+				r.tsoRes = "-"
+			case res.Robust:
+				r.tsoRes = "✓"
+			default:
+				r.tsoRes = "✗"
+			}
+			r.tsoElapsed = time.Since(start).Round(time.Millisecond).String()
+		} else {
+			r.tsoRes, r.tsoElapsed = "-", "-"
+		}
+		rows = append(rows, r)
+	}
+
+	if *markdown {
+		fmt.Println("| Program | Res | #T | LoC | Time | States | SC | TSO (Res/Time) |")
+		fmt.Println("|---|---|---|---|---|---|---|---|")
+		for _, r := range rows {
+			fmt.Printf("| %s | %s | %d | %d | %v | %d | %v | %s / %s |\n",
+				r.name, r.res, r.threads, r.loc, r.elapsed, r.states, r.scElapsed, r.tsoRes, r.tsoElapsed)
+		}
+	} else {
+		fmt.Printf("%-22s %-4s %3s %5s %12s %10s %10s  %s\n", "Program", "Res", "#T", "LoC", "Time", "States", "SC", "TSO")
+		for _, r := range rows {
+			if r.threads == 0 {
+				fmt.Printf("%-22s %s\n", r.name, r.res)
+				continue
+			}
+			fmt.Printf("%-22s %-4s %3d %5d %12v %10d %10v  %s %s\n",
+				r.name, r.res, r.threads, r.loc, r.elapsed, r.states, r.scElapsed, r.tsoRes, r.tsoElapsed)
+		}
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "fig7: %d verdict mismatches against the paper\n", mismatches)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+// Command rocker is the reproduction of the paper's prototype tool: it
+// checks execution-graph robustness of a program against the C/C++11
+// release/acquire memory model (plus data-race freedom on non-atomic
+// locations and any user assertions, per §6–§7), by exhaustive exploration
+// of the program under the instrumented SC memory of §5.
+//
+// Usage:
+//
+//	rocker [flags] file.lit
+//	rocker [flags] -corpus name     # run a built-in corpus program
+//	rocker -list                    # list the built-in corpus
+//
+// Flags:
+//
+//	-full         disable the §5.1 abstract value management (ablation)
+//	-hashcompact  store 128-bit state hashes instead of full encodings
+//	-max N        abort after N states (0 = unbounded)
+//	-trace        print the counterexample SC run on violations
+//	-q            print only the verdict line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func main() {
+	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
+	model := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")
+	hashCompact := flag.Bool("hashcompact", false, "hash-compact visited set")
+	maxStates := flag.Int("max", 0, "state bound (0 = unbounded)")
+	trace := flag.Bool("trace", true, "print counterexample traces")
+	quiet := flag.Bool("q", false, "verdict line only")
+	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
+	list := flag.Bool("list", false, "list built-in corpus programs")
+	all := flag.Bool("all", false, "verify the whole corpus and compare against the expected verdicts")
+	flag.Parse()
+
+	if *all {
+		bad := 0
+		for _, e := range litmus.All() {
+			if e.Big {
+				fmt.Printf("%-22s (skipped: multi-minute state space; use -corpus %s -hashcompact)\n", e.Name, e.Name)
+				continue
+			}
+			p := e.Program()
+			v, err := core.Verify(p, core.Options{AbstractVals: !*full})
+			if err != nil {
+				fatal(err)
+			}
+			status := "OK"
+			if v.Robust != e.RobustRA {
+				status = "MISMATCH"
+				bad++
+			}
+			res := "✗"
+			if v.Robust {
+				res = "✓"
+			}
+			fmt.Printf("%-22s %s %-9s %8d states %12v\n", e.Name, res, status, v.States, v.Elapsed.Round(100000))
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range litmus.All() {
+			mark := "✗"
+			if e.RobustRA {
+				mark = "✓"
+			}
+			fmt.Printf("%-22s %s  (%d threads)\n", e.Name, mark, e.Program().NumThreads())
+		}
+		return
+	}
+
+	var program *lang.Program
+	switch {
+	case *corpusName != "":
+		e, err := litmus.Get(*corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		program = e.Program()
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		program, err = parser.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rocker [flags] file.lit | rocker -corpus name | rocker -list")
+		os.Exit(2)
+	}
+
+	m := core.ModelRA
+	switch *model {
+	case "ra":
+	case "sra":
+		m = core.ModelSRA
+	default:
+		fatal(fmt.Errorf("unknown model %q (want ra or sra)", *model))
+	}
+	v, err := core.Verify(program, core.Options{
+		Model:        m,
+		AbstractVals: !*full,
+		HashCompact:  *hashCompact,
+		MaxStates:    *maxStates,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		verdict := "ROBUST"
+		if !v.Robust {
+			verdict = "NOT-ROBUST"
+		}
+		fmt.Printf("%s %s states=%d time=%v\n", program.Name, verdict, v.States, v.Elapsed)
+	} else {
+		out := core.Explain(program, v)
+		if !*trace && !v.Robust {
+			// Trim the trace section.
+			fmt.Print(out[:indexLine(out, "  SC run")])
+		} else {
+			fmt.Print(out)
+		}
+		fmt.Printf("  instrumentation: %d bits of metadata (§5.1)\n", v.MetadataBits)
+	}
+	if !v.Robust {
+		os.Exit(1)
+	}
+}
+
+func indexLine(s, prefix string) int {
+	for i := 0; i+len(prefix) <= len(s); i++ {
+		if (i == 0 || s[i-1] == '\n') && s[i:i+len(prefix)] == prefix {
+			return i
+		}
+	}
+	return len(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rocker:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,69 @@
+// Command sweep measures how the verifier scales with the workload
+// parameters the paper's Figure 7 varies implicitly (its spinlock/
+// spinlock4 and ticketlock/ticketlock4 row pairs): thread count and
+// acquisitions per thread, for the two lock families plus Lamport's fast
+// mutex. For each point it reports the instrumented state count and time
+// against the plain-SC baseline — the robustness-checking overhead curve.
+//
+// Usage:
+//
+//	sweep [-maxthreads N] [-rounds N] [-lamport]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func main() {
+	maxThreads := flag.Int("maxthreads", 5, "largest thread count")
+	rounds := flag.Int("rounds", 2, "acquisitions per thread")
+	withLamport := flag.Bool("lamport", false, "include the Lamport sweep (minutes at 3 threads)")
+	flag.Parse()
+
+	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
+		"program", "SCM states", "SCM time", "SC states", "SC time", "ratio")
+	row := func(name, src string) {
+		p, err := parser.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", name, err)
+			return
+		}
+		if !v.Robust {
+			fmt.Fprintln(os.Stderr, "sweep:", name, "unexpectedly non-robust")
+			return
+		}
+		sc, err := core.VerifySC(p, core.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", name, err)
+			return
+		}
+		ratio := float64(v.States) / float64(sc.States)
+		fmt.Printf("%-22s %10d %12v %10d %12v %8.1f\n",
+			name, v.States, v.Elapsed.Round(time.Millisecond),
+			sc.States, sc.Elapsed.Round(time.Millisecond), ratio)
+	}
+	// The generator sources carry their parameters in the program name.
+	for n := 2; n <= *maxThreads; n++ {
+		row(fmt.Sprintf("spinlock n=%d r=%d", n, *rounds), litmus.SpinlockSrc(n, *rounds))
+	}
+	for n := 2; n <= *maxThreads; n++ {
+		row(fmt.Sprintf("ticketlock n=%d r=%d", n, *rounds), litmus.TicketlockSrc(n, *rounds))
+	}
+	if *withLamport {
+		for n := 2; n <= 3; n++ {
+			row(fmt.Sprintf("lamport-ra n=%d", n), litmus.LamportSrc(n))
+		}
+	}
+}

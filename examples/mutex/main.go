@@ -1,0 +1,46 @@
+// Mutual exclusion under release/acquire: the §7 Peterson story.
+//
+//	go run ./examples/mutex
+//
+// Peterson's algorithm is the paper's running example of a repair
+// workflow: the SC original is not robust (and in fact broken under RA);
+// one TSO-grade fence is not enough for RA; two SC fences work; and
+// V'jukov's alternative repair — strengthening the *turn* write into an
+// RMW — works too, while strengthening the *flag* writes instead does not.
+// The example verifies all five variants and prints the counterexample
+// traces for the broken ones, reproducing the peterson-* rows of Figure 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+)
+
+func main() {
+	for _, name := range []string{
+		"peterson-sc",
+		"peterson-tso",
+		"peterson-ra",
+		"peterson-ra-dmitriy",
+		"peterson-ra-bratosz",
+	} {
+		entry, err := litmus.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		program := entry.Program()
+		verdict, err := core.Verify(program, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.Explain(program, verdict))
+		if verdict.Robust {
+			fmt.Println("  mutual exclusion therefore holds under RA exactly as under SC,")
+			fmt.Println("  and the embedded critical-section assertions were checked under SC.")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,67 @@
+// Non-atomic accesses and data-race detection (§6 of the paper).
+//
+//	go run ./examples/racecheck
+//
+// C/C++11 programs keep their bulk data in non-atomic variables; a data
+// race on them is undefined behaviour, so robustness of a mixed program
+// also requires race freedom. The checker verifies both simultaneously:
+// the example runs a correct message-passing handoff of non-atomic data
+// (robust and race-free), then removes the synchronization and watches the
+// racy-state detector (Definition 6.1) fire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+const handoff = `
+program na-handoff
+vals 3
+locs flag
+na payload
+thread producer
+  payload := 2
+  flag := 1
+end
+thread consumer
+  wait(flag = 1)
+  r := payload
+  assert r = 2
+end
+`
+
+const racy = `
+program na-race
+vals 3
+locs flag
+na payload
+thread producer
+  payload := 2
+  flag := 1
+end
+thread consumer
+  r := payload
+end
+`
+
+func main() {
+	for _, src := range []string{handoff, racy} {
+		program, err := parser.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict, err := core.Verify(program, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.Explain(program, verdict))
+		fmt.Println()
+	}
+	fmt.Println("The release write of flag and the acquire wait make the payload handoff")
+	fmt.Println("well-defined; without them the two payload accesses are simultaneously")
+	fmt.Println("enabled — a racy state — and the program has undefined behaviour.")
+}

@@ -1,0 +1,341 @@
+// Package core is the heart of the reproduction: the Rocker verifier. It
+// decides execution-graph robustness against the release/acquire memory
+// model by exhaustively exploring the program composed with the
+// instrumented SC memory SCM of §5 and evaluating the Theorem 5.3
+// robustness conditions (plus the §6 racy-state condition and any user
+// assertions) at every reachable state — the reduction the paper proves
+// sound and precise (Theorems 5.1, 5.3 and 6.2).
+//
+// By Proposition 4.10, a Robust verdict also establishes state robustness:
+// every program state reachable under RA is reachable under SC, so the
+// program may be verified with SC-only techniques. A NonRobust verdict
+// comes with a counterexample trace: an SC run to a state from which an RA
+// execution graph can diverge from all SC ones.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/scm"
+)
+
+// Model selects the weak memory model robustness is checked against.
+type Model uint8
+
+// Supported models.
+const (
+	// ModelRA is the paper's release/acquire model (the default).
+	ModelRA Model = iota
+	// ModelSRA is the strong release/acquire model of Lahav, Giannarakis
+	// & Vafeiadis (POPL 2016) — the §9 extension direction. SRA places
+	// writes mo-maximally, so only stale reads can break robustness;
+	// e.g. 2+2W is robust against SRA but not against RA (Example 3.4).
+	ModelSRA
+)
+
+// Options configures verification.
+type Options struct {
+	// Model selects the weak model (RA by default, or SRA).
+	Model Model
+	// AbstractVals enables the §5.1 abstract value management (critical
+	// values only, with CV/CW summaries). It is the default mode; turning
+	// it off tracks every value exactly (the ablation of §5.1).
+	AbstractVals bool
+	// MaxStates bounds the explored state count; 0 means unbounded.
+	// Exceeding the bound yields an error, never a wrong verdict.
+	MaxStates int
+	// KeepAllViolations collects every violating state instead of
+	// stopping at the first (useful for fence inference).
+	KeepAllViolations bool
+	// HashCompact stores 128-bit hashes of states instead of full state
+	// encodings in the visited set (Spin's hashcompact mode). It cuts
+	// memory roughly 4× on large runs; a hash collision could in
+	// principle prune a state (probability < n²·2⁻¹²⁸ for n states —
+	// negligible, but the exact mode is the default and is used by all
+	// correctness tests).
+	HashCompact bool
+}
+
+// DefaultOptions returns the standard configuration (abstract values on,
+// no state bound, exact visited set).
+func DefaultOptions() Options { return Options{AbstractVals: true} }
+
+// Verdict is the result of a robustness verification run.
+type Verdict struct {
+	// Robust reports execution-graph robustness against RA (and
+	// race-freedom on non-atomic locations, and that no assertion fails
+	// under SC).
+	Robust bool
+	// Violations holds the detected robustness violations (at most one
+	// unless Options.KeepAllViolations).
+	Violations []*scm.Violation
+	// AssertFail reports a failed user assertion, if any.
+	AssertFail *prog.AssertFailure
+	// Trace is an SC run (sequence of thread-labelled memory actions)
+	// leading to the first violating state.
+	Trace []explore.Step
+	// States is the number of distinct ⟨program, SCM⟩ states explored.
+	States int
+	// Elapsed is the wall-clock verification time.
+	Elapsed time.Duration
+	// MetadataBits is the size of the SCM instrumentation per §5.1.
+	MetadataBits int
+}
+
+// ErrStateBound is returned when MaxStates is exceeded.
+var ErrStateBound = fmt.Errorf("core: state bound exceeded")
+
+// visited is the deduplicating state store: either exact (full encodings)
+// or hash-compacted (two independent 64-bit FNV-style hashes).
+type visited struct {
+	exact  map[string]int32
+	hashed map[[2]uint64]int32
+	parent []int32
+	step   []explore.Step
+}
+
+func newVisited(hashCompact bool) *visited {
+	v := &visited{}
+	if hashCompact {
+		v.hashed = make(map[[2]uint64]int32)
+	} else {
+		v.exact = make(map[string]int32)
+	}
+	return v
+}
+
+func hash128(b []byte) [2]uint64 {
+	const (
+		off1 = 14695981039346656037
+		pr1  = 1099511628211
+		off2 = 0x9e3779b97f4a7c15
+		pr2  = 0xff51afd7ed558ccd
+	)
+	h1, h2 := uint64(off1), uint64(off2)
+	for _, c := range b {
+		h1 = (h1 ^ uint64(c)) * pr1
+		h2 = (h2 ^ uint64(c)) * pr2
+	}
+	return [2]uint64{h1, h2}
+}
+
+// add interns the encoding, returning (id, isNew).
+func (v *visited) add(key []byte, parent int32, step explore.Step) (int32, bool) {
+	if v.exact != nil {
+		if id, ok := v.exact[string(key)]; ok {
+			return id, false
+		}
+		id := int32(len(v.parent))
+		v.exact[string(key)] = id
+		v.parent = append(v.parent, parent)
+		v.step = append(v.step, step)
+		return id, true
+	}
+	h := hash128(key)
+	if id, ok := v.hashed[h]; ok {
+		return id, false
+	}
+	id := int32(len(v.parent))
+	v.hashed[h] = id
+	v.parent = append(v.parent, parent)
+	v.step = append(v.step, step)
+	return id, true
+}
+
+func (v *visited) len() int { return len(v.parent) }
+
+func (v *visited) trace(id int32) []explore.Step {
+	var rev []explore.Step
+	for id >= 0 && v.parent[id] >= 0 {
+		rev = append(rev, v.step[id])
+		id = v.parent[id]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Verify decides execution-graph robustness of the program against RA.
+func Verify(program *lang.Program, opts Options) (*Verdict, error) {
+	start := time.Now()
+	if err := program.Validate(); err != nil {
+		return nil, err
+	}
+	p := prog.New(program)
+	var crit []uint64
+	if opts.AbstractVals {
+		crit = prog.CriticalVals(program)
+	} else {
+		crit = prog.FullCriticalVals(program)
+	}
+	na := make([]bool, len(program.Locs))
+	hasNA := false
+	for i, li := range program.Locs {
+		na[i] = li.NA
+		hasNA = hasNA || li.NA
+	}
+	mon := scm.NewMonitor(program.NumThreads(), program.NumLocs(), program.ValCount, crit, na)
+	mon.SRA = opts.Model == ModelSRA
+
+	verdict := &Verdict{Robust: true, MetadataBits: mon.Bits()}
+	finish := func() (*Verdict, error) {
+		verdict.Elapsed = time.Since(start)
+		return verdict, nil
+	}
+	ps0, fail := p.InitState()
+	if fail != nil {
+		verdict.Robust = false
+		verdict.AssertFail = fail
+		return finish()
+	}
+	ms0 := mon.Init()
+
+	store := newVisited(opts.HashCompact)
+	// The frontier holds packed state encodings (program state followed by
+	// SCM state) plus the store id; states are decoded on expansion. This
+	// keeps the BFS frontier at tens of bytes per state.
+	var queue explore.Queue[[]byte]
+	var keyBuf []byte
+	encode := func(ps prog.State, ms *scm.State) []byte {
+		keyBuf = keyBuf[:0]
+		keyBuf = p.EncodeState(keyBuf, ps)
+		keyBuf = mon.Encode(keyBuf, ms)
+		return keyBuf
+	}
+	root, _ := store.add(encode(ps0, ms0), -1, explore.Step{})
+	queue.Push(root, append([]byte(nil), keyBuf...))
+
+	report := func(id int32, v *scm.Violation) bool {
+		verdict.Robust = false
+		verdict.Violations = append(verdict.Violations, v)
+		if verdict.Trace == nil {
+			verdict.Trace = store.trace(id)
+		}
+		return !opts.KeepAllViolations
+	}
+
+	// Reusable decode/expansion buffers.
+	cur := prog.State{Threads: make([]prog.ThreadState, len(p.Threads))}
+	for i := range p.Threads {
+		cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+	}
+	var curMS scm.State
+	nextMS := mon.Init()
+
+	for {
+		item, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		if opts.MaxStates > 0 && store.len() > opts.MaxStates {
+			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.len())
+		}
+		n := p.DecodeState(item.St, cur)
+		mon.Decode(item.St[n:], &curMS)
+		ops := p.Ops(cur)
+
+		// Theorem 5.3 conditions for every thread's pending operation.
+		for t := range ops {
+			if v := mon.CheckOp(&curMS, lang.Tid(t), ops[t]); v != nil {
+				if report(item.ID, v) {
+					verdict.States = store.len()
+					return finish()
+				}
+			}
+		}
+		// Definition 6.1 racy-state condition (§6).
+		if hasNA {
+			if v := mon.CheckRace(ops); v != nil {
+				if report(item.ID, v) {
+					verdict.States = store.len()
+					return finish()
+				}
+			}
+		}
+
+		// Successors: every SC-enabled thread action.
+		for t := range ops {
+			op := ops[t]
+			if op.Kind == prog.OpNone {
+				continue
+			}
+			label, enabled := prog.SCLabel(op, curMS.M[op.Loc], program.ValCount)
+			if !enabled {
+				continue // blocked wait/BCAS
+			}
+			nextTS, afail := p.Threads[t].Apply(cur.Threads[t], label)
+			if afail != nil {
+				verdict.Robust = false
+				verdict.AssertFail = afail
+				verdict.Trace = append(store.trace(item.ID), explore.Step{Tid: lang.Tid(t), Lab: label})
+				verdict.States = store.len()
+				return finish()
+			}
+			savedTS := cur.Threads[t]
+			cur.Threads[t] = nextTS
+			nextMS.CopyFrom(&curMS)
+			mon.Step(nextMS, lang.Tid(t), label)
+			key := encode(cur, nextMS)
+			cur.Threads[t] = savedTS
+			id, isNew := store.add(key, item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			if isNew {
+				queue.Push(id, append([]byte(nil), key...))
+			}
+		}
+	}
+	verdict.States = store.len()
+	return finish()
+}
+
+// FormatTrace renders a verdict's counterexample trace with the program's
+// location names, one step per line.
+func FormatTrace(program *lang.Program, trace []explore.Step) string {
+	var b strings.Builder
+	for i, s := range trace {
+		if s.Internal != "" {
+			fmt.Fprintf(&b, "%3d: %s\n", i+1, s.Internal)
+			continue
+		}
+		fmt.Fprintf(&b, "%3d: %s: %s\n", i+1, program.Threads[s.Tid].Name, program.FmtLabel(s.Lab))
+	}
+	return b.String()
+}
+
+// Explain renders a human-readable description of a verdict.
+func Explain(program *lang.Program, v *Verdict) string {
+	var b strings.Builder
+	if v.Robust {
+		fmt.Fprintf(&b, "%s: ROBUST against RA (%d states, %v)\n", program.Name, v.States, v.Elapsed)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: NOT robust against RA (%d states, %v)\n", program.Name, v.States, v.Elapsed)
+	if v.AssertFail != nil {
+		t := &program.Threads[v.AssertFail.Tid]
+		fmt.Fprintf(&b, "  assertion failed under SC: thread %s pc %d\n", t.Name, v.AssertFail.PC)
+	}
+	for _, viol := range v.Violations {
+		t := &program.Threads[viol.Tid]
+		switch viol.Kind {
+		case scm.NARace:
+			t2 := &program.Threads[viol.Tid2]
+			fmt.Fprintf(&b, "  %s: %s@pc%d races with %s@pc%d on %s\n",
+				viol.Kind, t.Name, viol.PC, t2.Name, viol.PC2, program.LocName(viol.Loc))
+		default:
+			fmt.Fprintf(&b, "  %s: thread %s at pc %d (%s), location %s\n",
+				viol.Kind, t.Name, viol.PC, program.FmtInst(t, &t.Insts[viol.PC]), program.LocName(viol.Loc))
+		}
+	}
+	if len(v.Trace) > 0 {
+		b.WriteString("  SC run to the violating state:\n")
+		for _, line := range strings.Split(strings.TrimRight(FormatTrace(program, v.Trace), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/prog"
+)
+
+// raceFreeSCG checks the premise of the paper's DRF corollary (§5, after
+// Theorem 5.1): every reachable state ⟨q, G⟩ of P(SCG) satisfies
+// G.mo ∪ G.fr ⊆ G.hb — i.e. the program is race-free under SC in the
+// happens-before sense. The corollary concludes execution-graph
+// robustness. For loop-free programs the exploration is exhaustive.
+func raceFreeSCG(program *lang.Program) bool {
+	p := prog.New(program)
+	type node struct {
+		ps prog.State
+		g  *egraph.Graph
+	}
+	ps0, fail := p.InitState()
+	if fail != nil {
+		return true
+	}
+	seen := map[string]struct{}{}
+	var stack []node
+	push := func(ps prog.State, g *egraph.Graph) {
+		key := string(encodeGraph(g, p.EncodeState(nil, ps)))
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		stack = append(stack, node{ps, g})
+	}
+	push(ps0, egraph.NewGraph(program.NumLocs(), nil))
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// mo ∪ fr ⊆ hb?
+		hb := n.g.HB()
+		mo, fr := n.g.MORel(), n.g.FR()
+		for a := 0; a < n.g.N(); a++ {
+			for b := 0; b < n.g.N(); b++ {
+				if (mo.Has(a, b) || fr.Has(a, b)) && !hb.Has(a, b) {
+					// Initialization events are hb-before everything by
+					// construction of po, so a genuine violation involves
+					// two program events.
+					if !n.g.Events[a].IsInit() {
+						return false
+					}
+				}
+			}
+		}
+		ops := p.Ops(n.ps)
+		for t := range ops {
+			if ops[t].Kind == prog.OpNone {
+				continue
+			}
+			cur := n.g.Events[n.g.WMax(ops[t].Loc)].Lab.VW
+			label, enabled := prog.SCLabel(ops[t], cur, program.ValCount)
+			if !enabled {
+				continue
+			}
+			nextTS, afail := p.Threads[t].Apply(n.ps.Threads[t], label)
+			if afail != nil {
+				continue
+			}
+			nextPS := n.ps.Clone()
+			nextPS.Threads[t] = nextTS
+			nextG := n.g.Clone()
+			nextG.SCGStep(t, label)
+			push(nextPS, nextG)
+		}
+	}
+	return true
+}
+
+// TestDRFCorollary checks §5's DRF guarantee on random loop-free programs:
+// whenever every reachable SCG state satisfies mo ∪ fr ⊆ hb, the program
+// must verify robust. (The converse does not hold — robust programs may
+// race benignly — so only the implication is asserted.)
+func TestDRFCorollary(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	iters := 300
+	if testing.Short() {
+		iters = 100
+	}
+	raceFree := 0
+	for iter := 0; iter < iters; iter++ {
+		program := randProgram(rng)
+		if !raceFreeSCG(program) {
+			continue
+		}
+		raceFree++
+		v, err := core.Verify(program, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Robust {
+			t.Fatalf("iter %d: race-free program rejected as non-robust\nprogram:\n%s", iter, program)
+		}
+	}
+	if raceFree == 0 {
+		t.Fatal("generator produced no race-free samples; the test is vacuous")
+	}
+	t.Logf("%d/%d samples were race-free", raceFree, iters)
+}
+
+// TestDRFCorollaryCorpus spot-checks the corollary's spirit on corpus
+// programs whose synchronization is fully rf-ordered under SC: the
+// spinlock and ticket lock families (RMW chains and handover writes).
+func TestDRFCorollaryCorpus(t *testing.T) {
+	for _, name := range []string{"2RMW", "MP"} {
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		rf := raceFreeSCG(p)
+		v, err := core.Verify(p, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf && !v.Robust {
+			t.Errorf("%s: race-free but non-robust", name)
+		}
+		if name == "2RMW" && !rf {
+			t.Errorf("2RMW should be hb-race-free: competing RMWs are rf-ordered")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+)
+
+// TestLitmusVerdicts checks that the verifier reproduces the robustness
+// verdicts the paper states for every corpus program (the §3 litmus tests
+// and the Figure 7 table), in both value-tracking modes. Programs flagged
+// Big (multi-million-state spaces) run only in the abstract mode with
+// hash-compact storage, and only outside -short.
+func TestLitmusVerdicts(t *testing.T) {
+	for _, e := range litmus.All() {
+		modes := []bool{true, false}
+		if e.Big {
+			modes = []bool{true}
+		}
+		for _, abstract := range modes {
+			name := e.Name + map[bool]string{true: "/abstract", false: "/full"}[abstract]
+			e := e
+			t.Run(name, func(t *testing.T) {
+				if e.Big {
+					if testing.Short() {
+						t.Skip("big state space; skipped in -short")
+					}
+					t.Parallel()
+				}
+				p := e.Program()
+				v, err := core.Verify(p, core.Options{
+					AbstractVals: abstract,
+					HashCompact:  e.Big,
+				})
+				if err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				if v.Robust != e.RobustRA {
+					t.Errorf("got robust=%v, paper says %v\n%s", v.Robust, e.RobustRA, core.Explain(p, v))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/memsc"
+	"repro/internal/prog"
+)
+
+// SCVerdict is the result of a plain SC exploration.
+type SCVerdict struct {
+	// AssertFail reports a failed user assertion, if any.
+	AssertFail *prog.AssertFailure
+	// States is the number of distinct ⟨program, SC memory⟩ states.
+	States int
+	// Elapsed is the wall-clock exploration time.
+	Elapsed time.Duration
+}
+
+// VerifySC explores the program under plain (uninstrumented) sequential
+// consistency, checking only user assertions. This is the paper's "SC"
+// comparison column in Figure 7: the cost of ordinary SC model checking,
+// against which the robustness instrumentation's overhead is measured.
+func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
+	start := time.Now()
+	if err := program.Validate(); err != nil {
+		return nil, err
+	}
+	p := prog.New(program)
+	verdict := &SCVerdict{}
+	ps0, fail := p.InitState()
+	if fail != nil {
+		verdict.AssertFail = fail
+		verdict.Elapsed = time.Since(start)
+		return verdict, nil
+	}
+	store := newVisited(opts.HashCompact)
+	type node struct {
+		ps prog.State
+		m  memsc.Memory
+	}
+	var queue []node
+	var keyBuf []byte
+	encode := func(ps prog.State, m memsc.Memory) []byte {
+		keyBuf = keyBuf[:0]
+		keyBuf = p.EncodeState(keyBuf, ps)
+		keyBuf = m.Encode(keyBuf)
+		return keyBuf
+	}
+	m0 := memsc.New(program.NumLocs())
+	store.add(encode(ps0, m0), -1, explore.Step{})
+	queue = append(queue, node{ps0, m0})
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if opts.MaxStates > 0 && store.len() > opts.MaxStates {
+			return nil, ErrStateBound
+		}
+		ops := p.Ops(n.ps)
+		for t := range ops {
+			op := ops[t]
+			if op.Kind == prog.OpNone {
+				continue
+			}
+			label, enabled := prog.SCLabel(op, n.m[op.Loc], program.ValCount)
+			if !enabled {
+				continue
+			}
+			nextTS, afail := p.Threads[t].Apply(n.ps.Threads[t], label)
+			if afail != nil {
+				verdict.AssertFail = afail
+				verdict.States = store.len()
+				verdict.Elapsed = time.Since(start)
+				return verdict, nil
+			}
+			nextPS := n.ps.Clone()
+			nextPS.Threads[t] = nextTS
+			nextM := n.m.Clone()
+			nextM.Step(label)
+			if _, isNew := store.add(encode(nextPS, nextM), -1, explore.Step{}); isNew {
+				queue = append(queue, node{nextPS, nextM})
+			}
+		}
+	}
+	verdict.States = store.len()
+	verdict.Elapsed = time.Since(start)
+	return verdict, nil
+}

@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/staterobust"
+)
+
+// TestSRALitmus pins the SRA-mode verdicts on the litmus corpus. The
+// anchor from the paper itself is Example 3.4: 2+2W's weak outcome needs
+// a non-maximal write placement, so it is robust against SRA while not
+// against RA; similarly for its read-free variant. Read-staleness
+// programs (SB, IRIW) stay non-robust; since SRA is weaker than SC but
+// stronger than RA, every RA-robust program must verify under SRA too.
+func TestSRALitmus(t *testing.T) {
+	expect := map[string]bool{
+		"2+2W":     true, // Example 3.4: only robust against the stronger model
+		"2+2W-nor": true,
+		"SB":       false,
+		"SB-zero":  false, // the stale read of the initialization write is an
+		// rf divergence even though both writes carry the same value
+		"IRIW":    false,
+		"MP":      true,
+		"2RMW":    true,
+		"SB+RMWs": true,
+	}
+	for name, want := range expect {
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		v, err := core.Verify(p, core.Options{AbstractVals: true, Model: core.ModelSRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Robust != want {
+			t.Errorf("%s: SRA robustness = %v, want %v", name, v.Robust, want)
+		}
+	}
+	// Monotonicity across the whole corpus: RA-robust ⟹ SRA-robust.
+	for _, e := range litmus.All() {
+		if e.Big || !e.RobustRA {
+			continue
+		}
+		p := e.Program()
+		v, err := core.Verify(p, core.Options{AbstractVals: true, Model: core.ModelSRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Robust {
+			t.Errorf("%s: robust against RA but not against the stronger SRA", e.Name)
+		}
+	}
+}
+
+// TestSRAEquivalence mirrors TestTheorem51Equivalence for the SRA
+// extension: the SRA-mode verifier agrees with the literal witness search
+// over SRAG predecessor candidates on random loop-free programs.
+func TestSRAEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	iters := 300
+	if testing.Short() {
+		iters = 100
+	}
+	for iter := 0; iter < iters; iter++ {
+		program := randProgram(rng)
+		want := graphRobustModel(program, true)
+		for _, abstract := range []bool{true, false} {
+			v, err := core.Verify(program, core.Options{AbstractVals: abstract, Model: core.ModelSRA})
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if v.Robust != want {
+				t.Fatalf("iter %d (abstract=%v): SRA verdict %v, witness search says %v\nprogram:\n%s",
+					iter, abstract, v.Robust, want, program)
+			}
+		}
+		// Monotonicity on random programs: RA-robust ⟹ SRA-robust.
+		ra, err := core.Verify(program, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sra, err := core.Verify(program, core.Options{AbstractVals: true, Model: core.ModelSRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Robust && !sra.Robust {
+			t.Fatalf("iter %d: RA-robust but not SRA-robust\nprogram:\n%s", iter, program)
+		}
+	}
+}
+
+// TestSRAProp410 checks the Proposition 4.10 analog for SRA against the
+// restricted timestamp machine.
+func TestSRAProp410(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	iters := 200
+	if testing.Short() {
+		iters = 60
+	}
+	for iter := 0; iter < iters; iter++ {
+		program := randProgram(rng)
+		v, err := core.Verify(program, core.Options{AbstractVals: true, Model: core.ModelSRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Robust {
+			continue
+		}
+		res, err := staterobust.CheckSRA(program, staterobust.Limits{MaxStates: 500_000})
+		if err != nil {
+			continue // bound exceeded: skip this sample
+		}
+		if !res.Robust {
+			t.Fatalf("iter %d: SRA-graph-robust program not state robust under the SRA machine\nprogram:\n%s",
+				iter, program)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/staterobust"
+)
+
+// randProgram generates a small loop-free concurrent program over two
+// locations with writes, reads, FADDs, CASes (constant and register
+// comparands — the latter exercise the all-values-critical corner of
+// §5.1), XCHGs, waits and BCASes.
+func randProgram(rng *rand.Rand) *lang.Program {
+	numT := 2 + rng.Intn(2)
+	p := &lang.Program{
+		Name:     "rand",
+		ValCount: 3,
+		Locs:     []lang.LocInfo{{Name: "x"}, {Name: "y"}},
+	}
+	for t := 0; t < numT; t++ {
+		sp := lang.SeqProg{Name: "t", NumRegs: 2, RegNames: []string{"r0", "r1"}}
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			mem := lang.MemRef{Base: lang.Loc(rng.Intn(2)), Size: 1}
+			c := func() *lang.Expr { return lang.Const(lang.Val(rng.Intn(3))) }
+			var in lang.Inst
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				in = lang.Inst{Kind: lang.IWrite, Mem: mem, E: c()}
+			case 3, 4, 5:
+				in = lang.Inst{Kind: lang.IRead, Mem: mem, Reg: lang.Reg(rng.Intn(2))}
+			case 6:
+				in = lang.Inst{Kind: lang.IFADD, Mem: mem, Reg: 0, E: c()}
+			case 7:
+				exp := c()
+				if rng.Intn(3) == 0 {
+					exp = lang.RegE(1) // dynamic comparand: all values critical
+				}
+				in = lang.Inst{Kind: lang.ICAS, Mem: mem, Reg: 0, ER: exp, EW: c()}
+			case 8:
+				in = lang.Inst{Kind: lang.IXCHG, Mem: mem, Reg: 0, E: c()}
+			default:
+				if rng.Intn(2) == 0 {
+					in = lang.Inst{Kind: lang.IWait, Mem: mem, E: c()}
+				} else {
+					in = lang.Inst{Kind: lang.IBCAS, Mem: mem, ER: c(), EW: c()}
+				}
+			}
+			sp.Insts = append(sp.Insts, in)
+		}
+		p.Threads = append(p.Threads, sp)
+	}
+	return p
+}
+
+// enabledLabels enumerates every label the operation enables in the
+// program LTS (Figure 2 / Definition 2.1).
+func enabledLabels(op prog.MemOp, valCount int) []lang.Label {
+	var out []lang.Label
+	switch op.Kind {
+	case prog.OpWrite:
+		out = append(out, lang.WriteLab(op.Loc, op.WVal))
+	case prog.OpRead:
+		for v := 0; v < valCount; v++ {
+			out = append(out, lang.ReadLab(op.Loc, lang.Val(v)))
+		}
+	case prog.OpFADD:
+		for v := 0; v < valCount; v++ {
+			out = append(out, lang.RMWLab(op.Loc, lang.Val(v), lang.Val((v+int(op.Add))%valCount)))
+		}
+	case prog.OpXCHG:
+		for v := 0; v < valCount; v++ {
+			out = append(out, lang.RMWLab(op.Loc, lang.Val(v), op.New))
+		}
+	case prog.OpCAS:
+		out = append(out, lang.RMWLab(op.Loc, op.Exp, op.New))
+		for v := 0; v < valCount; v++ {
+			if lang.Val(v) != op.Exp {
+				out = append(out, lang.ReadLab(op.Loc, lang.Val(v)))
+			}
+		}
+	case prog.OpWait:
+		out = append(out, lang.ReadLab(op.Loc, op.WVal))
+	case prog.OpBCAS:
+		out = append(out, lang.RMWLab(op.Loc, op.Exp, op.New))
+	}
+	return out
+}
+
+// encodeGraph produces a run-prefix-canonical encoding of the graph for
+// visited-set deduplication.
+func encodeGraph(g *egraph.Graph, dst []byte) []byte {
+	for _, e := range g.Events {
+		dst = append(dst, byte(e.Tid+1), byte(e.Sn), byte(e.Lab.Typ), byte(e.Lab.Loc), byte(e.Lab.VR), byte(e.Lab.VW))
+	}
+	dst = append(dst, 0xFD)
+	for _, w := range g.RF {
+		dst = append(dst, byte(w+1))
+	}
+	for _, ws := range g.MO {
+		dst = append(dst, 0xFE)
+		for _, w := range ws {
+			dst = append(dst, byte(w))
+		}
+	}
+	return dst
+}
+
+// graphRobust decides execution-graph robustness by the literal Theorem
+// 5.1 characterization: explore every reachable ⟨q, G⟩ of P(SCG) (finite
+// for loop-free programs) and search for a non-robustness witness
+// ⟨q, G, τ, l, w⟩. It is exponential and exists purely as the independent
+// specification the SCM-based verifier is tested against. With sra set it
+// uses the SRAG predecessor-write candidates instead (the SRA extension).
+func graphRobustModel(program *lang.Program, sra bool) bool {
+	preds := func(g *egraph.Graph, t int, l lang.Label) []int {
+		if sra {
+			return g.SRAGPredecessors(t, l)
+		}
+		return g.RAGPredecessors(t, l)
+	}
+	return graphRobustWith(program, preds)
+}
+
+func graphRobust(program *lang.Program) bool {
+	return graphRobustModel(program, false)
+}
+
+func graphRobustWith(program *lang.Program, preds func(*egraph.Graph, int, lang.Label) []int) bool {
+	p := prog.New(program)
+	type node struct {
+		ps prog.State
+		g  *egraph.Graph
+	}
+	ps0, fail := p.InitState()
+	if fail != nil {
+		return true
+	}
+	seen := map[string]struct{}{}
+	var stack []node
+	push := func(ps prog.State, g *egraph.Graph) {
+		key := string(encodeGraph(g, p.EncodeState(nil, ps)))
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		stack = append(stack, node{ps, g})
+	}
+	push(ps0, egraph.NewGraph(program.NumLocs(), nil))
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ops := p.Ops(n.ps)
+		for t := range ops {
+			if ops[t].Kind == prog.OpNone {
+				continue
+			}
+			// Witness conditions of Theorem 5.1.
+			for _, l := range enabledLabels(ops[t], program.ValCount) {
+				wmax := n.g.WMax(l.Loc)
+				hbSC := n.g.HBSC()
+				aware := false
+				for e := 0; e < n.g.N() && !aware; e++ {
+					if n.g.Events[e].Tid == t && hbSC.Has(wmax, e) {
+						aware = true
+					}
+				}
+				if !aware {
+					continue
+				}
+				for _, w := range preds(n.g, t, l) {
+					if w != wmax {
+						return false // non-robustness witness found
+					}
+				}
+			}
+			// SCG successors.
+			cur := n.g.Events[n.g.WMax(ops[t].Loc)].Lab.VW
+			label, enabled := prog.SCLabel(ops[t], cur, program.ValCount)
+			if !enabled {
+				continue
+			}
+			nextTS, afail := p.Threads[t].Apply(n.ps.Threads[t], label)
+			if afail != nil {
+				continue
+			}
+			nextPS := n.ps.Clone()
+			nextPS.Threads[t] = nextTS
+			nextG := n.g.Clone()
+			nextG.SCGStep(t, label)
+			push(nextPS, nextG)
+		}
+	}
+	return true
+}
+
+// TestTheorem51Equivalence checks, on hundreds of random loop-free
+// programs, that the SCM-based decision procedure (Theorem 5.3, in both
+// value-tracking modes) agrees exactly with the literal witness
+// characterization of Theorem 5.1 evaluated on explicit execution graphs.
+// This is the soundness-and-precision test of the whole reduction.
+func TestTheorem51Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	iters := 400
+	if testing.Short() {
+		iters = 120
+	}
+	for iter := 0; iter < iters; iter++ {
+		program := randProgram(rng)
+		want := graphRobust(program)
+		for _, abstract := range []bool{true, false} {
+			v, err := core.Verify(program, core.Options{AbstractVals: abstract})
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if v.Robust != want {
+				t.Fatalf("iter %d (abstract=%v): SCM verdict %v, Theorem 5.1 witness search says %v\nprogram:\n%s",
+					iter, abstract, v.Robust, want, program)
+			}
+		}
+	}
+}
+
+// TestProposition410 checks, on random loop-free programs, that
+// execution-graph robustness implies state robustness against RA
+// (Proposition 4.10), using the independent timestamp-machine explorer.
+func TestProposition410(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	iters := 250
+	if testing.Short() {
+		iters = 80
+	}
+	for iter := 0; iter < iters; iter++ {
+		program := randProgram(rng)
+		v, err := core.Verify(program, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !v.Robust {
+			continue
+		}
+		res, err := staterobust.CheckRA(program, staterobust.Limits{MaxStates: 500_000})
+		if err != nil {
+			continue // bound exceeded: skip this sample
+		}
+		if !res.Robust {
+			t.Fatalf("iter %d: graph-robust program is not state robust under RA\nprogram:\n%s", iter, program)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package egraph implements C/C++11-style execution graphs (§4 of the
+// paper) and the memory subsystems defined over them: the free-graph system
+// FG (Definition 4.5), the SC graph system SCG (§4.1), the RA graph system
+// RAG (§4.2), and the §6 extension RAG+NA that additionally detects races
+// on non-atomic locations.
+//
+// An execution graph is a set of events together with a reads-from mapping
+// rf and a per-location modification (total) order mo (Definition 4.3).
+// The derived relations po (sequenced-before), hb (happens-before), fr
+// (from-read) and hbSC (SC-happens-before, after Shasha & Snir) are
+// computed on demand. Graphs here are small — they back the verifier's
+// property tests, the declarative cross-validation of the decision
+// procedure (Theorem 5.1), and the replay of the paper's Figure 4 — so the
+// implementation favours clarity (explicit relation matrices) over scale;
+// the scalable path of the verifier never materializes graphs at all
+// (that is the whole point of §5's SCM monitor).
+package egraph
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// InitTid is the pseudo thread identifier of initialization events
+// (the paper's ⊥).
+const InitTid = -1
+
+// Event is a node of an execution graph: ⟨τ, s, l⟩ with a thread
+// identifier, a per-thread serial number, and a label (Definition 4.1).
+// Initialization events have Tid == InitTid and Sn == 0.
+type Event struct {
+	Tid int
+	Sn  int
+	Lab lang.Label
+}
+
+// IsInit reports whether the event is an initialization event.
+func (e Event) IsInit() bool { return e.Tid == InitTid }
+
+// Graph is an execution graph G = ⟨E, rf, mo⟩. Events are addressed by
+// dense ids; the initialization events occupy ids 0..NumLocs-1 (one W(x,0)
+// per location, Definition 4.2). MO stores, per location, the mo-ordered
+// list of write event ids; RF stores, per event, the id of the write the
+// event reads from (or -1).
+type Graph struct {
+	NumLocs int
+	Events  []Event
+	RF      []int
+	MO      [][]int
+	// NA marks non-atomic locations for the §6 happens-before (only rf
+	// edges on release/acquire locations synchronize). A nil NA means all
+	// locations are release/acquire.
+	NA []bool
+}
+
+// NewGraph returns the initial execution graph G0 (Definition 4.5): one
+// initialization write per location and empty rf and mo... mo in our
+// representation lists the initialization write of each location as the
+// (trivially) first write; this is equivalent to the paper's formulation,
+// where mo-edges to later writes appear as the writes do.
+func NewGraph(numLocs int, na []bool) *Graph {
+	g := &Graph{NumLocs: numLocs, NA: na}
+	for x := 0; x < numLocs; x++ {
+		g.Events = append(g.Events, Event{Tid: InitTid, Sn: 0, Lab: lang.WriteLab(lang.Loc(x), 0)})
+		g.RF = append(g.RF, -1)
+		g.MO = append(g.MO, []int{x})
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		NumLocs: g.NumLocs,
+		Events:  append([]Event(nil), g.Events...),
+		RF:      append([]int(nil), g.RF...),
+		MO:      make([][]int, len(g.MO)),
+		NA:      g.NA,
+	}
+	for x := range g.MO {
+		c.MO[x] = append([]int(nil), g.MO[x]...)
+	}
+	return c
+}
+
+// N returns the number of events.
+func (g *Graph) N() int { return len(g.Events) }
+
+// IsWriteEvent reports whether event id is a write or RMW.
+func (g *Graph) IsWriteEvent(id int) bool { return g.Events[id].Lab.IsWrite() }
+
+// IsReadEvent reports whether event id is a read or RMW.
+func (g *Graph) IsReadEvent(id int) bool { return g.Events[id].Lab.IsRead() }
+
+// IsRMWEvent reports whether event id is an RMW.
+func (g *Graph) IsRMWEvent(id int) bool { return g.Events[id].Lab.Typ == lang.LRMW }
+
+// moPos returns the position of write id in its location's mo list, or -1.
+func (g *Graph) moPos(id int) int {
+	for i, w := range g.MO[g.Events[id].Lab.Loc] {
+		if w == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// MOBefore reports ⟨a, b⟩ ∈ G.mo.
+func (g *Graph) MOBefore(a, b int) bool {
+	ea, eb := g.Events[a], g.Events[b]
+	if !ea.Lab.IsWrite() || !eb.Lab.IsWrite() || ea.Lab.Loc != eb.Lab.Loc {
+		return false
+	}
+	pa, pb := g.moPos(a), g.moPos(b)
+	return pa >= 0 && pb >= 0 && pa < pb
+}
+
+// WMax returns the mo-maximal write to x (G.wmax_x).
+func (g *Graph) WMax(x lang.Loc) int {
+	l := g.MO[x]
+	return l[len(l)-1]
+}
+
+// POBefore reports ⟨a, b⟩ ∈ G.po: initialization events precede all
+// non-initialization events; same-thread events are ordered by serial
+// number (§4, sequenced-before).
+func (g *Graph) POBefore(a, b int) bool {
+	ea, eb := g.Events[a], g.Events[b]
+	if ea.IsInit() {
+		return !eb.IsInit()
+	}
+	return !eb.IsInit() && ea.Tid == eb.Tid && ea.Sn < eb.Sn
+}
+
+// Rel is a binary relation over the graph's events as an adjacency matrix.
+type Rel struct {
+	n int
+	m []bool
+}
+
+// NewRel returns an empty relation over n events.
+func NewRel(n int) *Rel { return &Rel{n: n, m: make([]bool, n*n)} }
+
+// Set adds ⟨a, b⟩ to the relation.
+func (r *Rel) Set(a, b int) { r.m[a*r.n+b] = true }
+
+// Has reports ⟨a, b⟩ ∈ r.
+func (r *Rel) Has(a, b int) bool { return r.m[a*r.n+b] }
+
+// Union adds all edges of o to r.
+func (r *Rel) Union(o *Rel) {
+	for i := range r.m {
+		r.m[i] = r.m[i] || o.m[i]
+	}
+}
+
+// TransClose replaces r with its transitive closure (Floyd–Warshall).
+func (r *Rel) TransClose() {
+	n := r.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.m[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r.m[k*n+j] {
+					r.m[i*n+j] = true
+				}
+			}
+		}
+	}
+}
+
+// Irreflexive reports whether the relation has no self-loop.
+func (r *Rel) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.m[i*r.n+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PO returns G.po as a relation.
+func (g *Graph) PO() *Rel {
+	r := NewRel(g.N())
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < g.N(); b++ {
+			if a != b && g.POBefore(a, b) {
+				r.Set(a, b)
+			}
+		}
+	}
+	return r
+}
+
+// MORel returns G.mo as a relation.
+func (g *Graph) MORel() *Rel {
+	r := NewRel(g.N())
+	for _, ws := range g.MO {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				r.Set(ws[i], ws[j])
+			}
+		}
+	}
+	return r
+}
+
+// RFRel returns G.rf as a relation. If the graph has non-atomic locations,
+// pass raOnly to restrict to rf edges on release/acquire locations (the §6
+// happens-before uses only those).
+func (g *Graph) RFRel(raOnly bool) *Rel {
+	r := NewRel(g.N())
+	for e, w := range g.RF {
+		if w < 0 {
+			continue
+		}
+		if raOnly && g.NA != nil && g.NA[g.Events[e].Lab.Loc] {
+			continue
+		}
+		r.Set(w, e)
+	}
+	return r
+}
+
+// HB returns G.hb = (po ∪ rf)⁺, where, per §6, only rf edges on
+// release/acquire locations synchronize when the graph has non-atomic
+// locations.
+func (g *Graph) HB() *Rel {
+	r := g.PO()
+	r.Union(g.RFRel(true))
+	r.TransClose()
+	return r
+}
+
+// FR returns G.fr = (rf⁻¹ ; mo) \ id (from-read, §5).
+func (g *Graph) FR() *Rel {
+	r := NewRel(g.N())
+	mo := g.MORel()
+	for e, w := range g.RF {
+		if w < 0 {
+			continue
+		}
+		for b := 0; b < g.N(); b++ {
+			if b != e && mo.Has(w, b) {
+				r.Set(e, b)
+			}
+		}
+	}
+	return r
+}
+
+// HBSC returns G.hbSC = (hb ∪ mo ∪ fr)⁺ (§5).
+func (g *Graph) HBSC() *Rel {
+	r := g.HB()
+	r.Union(g.MORel())
+	r.Union(g.FR())
+	r.TransClose()
+	return r
+}
+
+// SCConsistent reports whether the graph is SC-consistent: hbSC is
+// irreflexive (Definition A.7).
+func (g *Graph) SCConsistent() bool { return g.HBSC().Irreflexive() }
+
+// RAConsistent reports whether the graph is RA-consistent
+// (Definition A.12): hb, mo;hb, fr;hb and fr;mo are all irreflexive.
+func (g *Graph) RAConsistent() bool {
+	hb := g.HB()
+	if !hb.Irreflexive() {
+		return false
+	}
+	mo, fr := g.MORel(), g.FR()
+	n := g.N()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if mo.Has(a, b) && hb.Has(b, a) {
+				return false
+			}
+			if fr.Has(a, b) && (hb.Has(b, a) || mo.Has(b, a)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RAConsistentAlt implements the equivalent characterization of
+// Lemma A.13: (hb|loc ∪ mo ∪ fr)⁺ is irreflexive, where hb|loc restricts
+// hb to same-location event pairs. Kept separate from RAConsistent for the
+// property test of their equivalence.
+func (g *Graph) RAConsistentAlt() bool {
+	hb := g.HB()
+	r := NewRel(g.N())
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < g.N(); b++ {
+			if hb.Has(a, b) && g.Events[a].Lab.Loc == g.Events[b].Lab.Loc {
+				r.Set(a, b)
+			}
+		}
+	}
+	r.Union(g.MORel())
+	r.Union(g.FR())
+	r.TransClose()
+	return r.Irreflexive()
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for id, e := range g.Events {
+		fmt.Fprintf(&b, "e%d: ", id)
+		if e.IsInit() {
+			fmt.Fprintf(&b, "init %s", e.Lab)
+		} else {
+			fmt.Fprintf(&b, "t%d.%d %s", e.Tid, e.Sn, e.Lab)
+		}
+		if g.RF[id] >= 0 {
+			fmt.Fprintf(&b, " rf:e%d", g.RF[id])
+		}
+		b.WriteByte('\n')
+	}
+	for x, ws := range g.MO {
+		if len(ws) > 1 {
+			fmt.Fprintf(&b, "mo(x%d): %v\n", x, ws)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package egraph_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+func randomRel(rng *rand.Rand, n int, density int) *egraph.Rel {
+	r := egraph.NewRel(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if rng.Intn(density) == 0 {
+				r.Set(a, b)
+			}
+		}
+	}
+	return r
+}
+
+// TestTransCloseProperties checks the relation algebra the consistency
+// predicates are built on: closure is idempotent, transitive, and
+// contains the original relation.
+func TestTransCloseProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		r := randomRel(rng, n, 3)
+		orig := egraph.NewRel(n)
+		orig.Union(r)
+		r.TransClose()
+		// Contains the original.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if orig.Has(a, b) && !r.Has(a, b) {
+					return false
+				}
+			}
+		}
+		// Transitive.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if r.Has(a, b) && r.Has(b, c) && !r.Has(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		// Idempotent.
+		again := egraph.NewRel(n)
+		again.Union(r)
+		again.TransClose()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if again.Has(a, b) != r.Has(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDerivedRelationShapes checks typing invariants of the derived
+// relations on random RAG-generated graphs: fr goes from reads to writes
+// of the same location; mo relates same-location writes; hb contains po;
+// hbSC contains hb, mo and fr.
+func TestDerivedRelationShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 150; iter++ {
+		g := randomRAGRun(rng, 1+rng.Intn(3), 1+rng.Intn(3), 3, 3+rng.Intn(10))
+		n := g.N()
+		po, hb, mo, fr, hbSC := g.PO(), g.HB(), g.MORel(), g.FR(), g.HBSC()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if fr.Has(a, b) {
+					if !g.IsReadEvent(a) || !g.IsWriteEvent(b) || g.Events[a].Lab.Loc != g.Events[b].Lab.Loc {
+						t.Fatalf("iter %d: malformed fr edge e%d→e%d", iter, a, b)
+					}
+				}
+				if mo.Has(a, b) {
+					if !g.IsWriteEvent(a) || !g.IsWriteEvent(b) || g.Events[a].Lab.Loc != g.Events[b].Lab.Loc {
+						t.Fatalf("iter %d: malformed mo edge e%d→e%d", iter, a, b)
+					}
+				}
+				if po.Has(a, b) && !hb.Has(a, b) {
+					t.Fatalf("iter %d: po ⊄ hb at e%d→e%d", iter, a, b)
+				}
+				if (hb.Has(a, b) || mo.Has(a, b) || fr.Has(a, b)) && !hbSC.Has(a, b) {
+					t.Fatalf("iter %d: hb∪mo∪fr ⊄ hbSC at e%d→e%d", iter, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package emit_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/litmus"
+)
+
+// goRun compiles and runs a generated verifier, returning its stdout and
+// whether it exited zero.
+func goRun(t *testing.T, src string) (string, bool) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", path)
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			t.Fatalf("go run: %v\n%s", err, out)
+		}
+		return string(out), false
+	}
+	return string(out), true
+}
+
+var statesRe = regexp.MustCompile(`\((\d+) states\)`)
+
+// TestGeneratedVerifierAgrees compiles standalone verifiers for a slice of
+// the corpus and checks that verdicts AND explored state counts match the
+// in-process engine exactly — the generated code is the same algorithm
+// specialized, so any divergence is a compiler bug.
+func TestGeneratedVerifierAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain per program")
+	}
+	names := []string{
+		"SB", "MP", "IRIW", "2+2W", "2RMW", "SB+RMWs", "BAR-loop",
+		"barrier", "peterson-sc", "peterson-ra", "peterson-ra-dmitriy",
+		"dekker-tso", "spinlock", "ticketlock", "ttas-spin", "dcl",
+		"dcl-na-broken", "treiber-stack", "seqlock",
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			e, err := litmus.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := e.Program()
+			src, err := emit.Generate(p, emit.Options{AbstractVals: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, ok := goRun(t, src)
+			want, err := core.Verify(p, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != want.Robust {
+				t.Fatalf("generated verdict robust=%v, engine says %v\noutput:\n%s", ok, want.Robust, out)
+			}
+			m := statesRe.FindStringSubmatch(out)
+			if m == nil {
+				t.Fatalf("no state count in output:\n%s", out)
+			}
+			states, _ := strconv.Atoi(m[1])
+			if states != want.States {
+				t.Errorf("generated explored %d states, engine %d\noutput:\n%s", states, want.States, out)
+			}
+			if !want.Robust && !strings.Contains(out, "NOT-ROBUST") {
+				t.Errorf("missing NOT-ROBUST banner:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestGeneratedVerifierFullMode checks the un-abstracted generated
+// monitor agrees too.
+func TestGeneratedVerifierFullMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	for _, name := range []string{"SB", "MP", "ticketlock"} {
+		e, _ := litmus.Get(name)
+		p := e.Program()
+		src, err := emit.Generate(p, emit.Options{AbstractVals: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, ok := goRun(t, src)
+		want, _ := core.Verify(p, core.Options{AbstractVals: false})
+		if ok != want.Robust {
+			t.Fatalf("%s (full): generated robust=%v, engine %v\n%s", name, ok, want.Robust, out)
+		}
+	}
+}
+
+// TestGenerateRejectsOversized checks the front-end limits.
+func TestGenerateRejectsOversized(t *testing.T) {
+	e, _ := litmus.Get("SB")
+	p := e.Program()
+	// Inflate a thread past the uint8 pc encoding.
+	for len(p.Threads[0].Insts) <= 260 {
+		p.Threads[0].Insts = append(p.Threads[0].Insts, p.Threads[0].Insts[0])
+	}
+	if _, err := emit.Generate(p, emit.Options{AbstractVals: true}); err == nil {
+		t.Fatal("expected a size error")
+	}
+}
+
+// TestGeneratedSourceShape sanity-checks the emitted text without running
+// the toolchain (this part runs in -short mode).
+func TestGeneratedSourceShape(t *testing.T) {
+	e, _ := litmus.Get("rcu")
+	src, err := emit.Generate(e.Program(), emit.Options{AbstractVals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package main", "func stepWrite", "func stepRead", "func stepRMW",
+		"func canon", "func checkOp", "func main()", "Code generated",
+		fmt.Sprintf("nT = %d", 4),
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package emit
+
+// monitor emits the SCM transition functions (Figures 5 and 6 and the
+// Appendix C summaries) into the generated verifier, specialized to the
+// constant dimensions. The code mirrors internal/scm; the property tests
+// there (Lemma 5.2) are the semantic ground truth, and the generator's own
+// tests check verdict agreement between the generated verifier and the
+// in-process one.
+func (g *gen) monitor() {
+	g.raw(`// stepWrite applies the SCM transition for ⟨tau, W(x, v)⟩.
+func stepWrite(s *state, tau, x int, v uint8) {
+	xb := uint64(1) << x
+	vR := s.m[x]
+	vrCrit := crit[x]&(1<<vR) != 0
+	var vrBit uint64
+	if vrCrit {
+		vrBit = 1 << vR
+	}
+	oldVSCt := s.b[oVSC+tau]
+	oldMSCx := s.b[oMSC+x]
+	for p := 0; p < nT; p++ {
+		if p == tau {
+			s.b[oVSC+p] = oldVSCt | oldMSCx
+		} else {
+			s.b[oVSC+p] &^= xb
+		}
+	}
+	for y := 0; y < nL; y++ {
+		if y == x {
+			s.b[oMSC+y] = oldMSCx | oldVSCt
+			s.b[oWSC+y] = oldMSCx | oldVSCt
+		} else {
+			s.b[oMSC+y] &^= xb
+			s.b[oWSC+y] &^= xb
+		}
+	}
+	copy(s.b[oW+x*nL:oW+(x+1)*nL], s.b[oV+tau*nL:oV+(tau+1)*nL])
+	copy(s.b[oWR+x*nL:oWR+(x+1)*nL], s.b[oVR+tau*nL:oVR+(tau+1)*nL])
+	s.b[oW+x*nL+x] = 0
+	s.b[oWR+x*nL+x] = 0
+	oldCVt := s.b[oCV+tau]
+	oldCVRt := s.b[oCVR+tau]
+	for p := 0; p < nT; p++ {
+		if p == tau {
+			s.b[oV+p*nL+x] = 0
+			s.b[oVR+p*nL+x] = 0
+			s.b[oCV+p] &^= xb
+			s.b[oCVR+p] &^= xb
+		} else {
+			s.b[oV+p*nL+x] |= vrBit
+			s.b[oVR+p*nL+x] |= vrBit
+			if !vrCrit {
+				s.b[oCV+p] |= xb
+				s.b[oCVR+p] |= xb
+			}
+		}
+	}
+	for z := 0; z < nL; z++ {
+		if z == x {
+			s.b[oCW+z] = oldCVt &^ xb
+			s.b[oCWR+z] = oldCVRt &^ xb
+		} else {
+			s.b[oW+z*nL+x] |= vrBit
+			s.b[oWR+z*nL+x] |= vrBit
+			if !vrCrit {
+				s.b[oCW+z] |= xb
+				s.b[oCWR+z] |= xb
+			}
+		}
+	}
+	s.m[x] = v
+}
+
+// stepRead applies the SCM transition for ⟨tau, R(x, M(x))⟩.
+func stepRead(s *state, tau, x int) {
+	oldVSCt := s.b[oVSC+tau]
+	s.b[oVSC+tau] = oldVSCt | s.b[oWSC+x]
+	s.b[oMSC+x] |= oldVSCt
+	for y := 0; y < nL; y++ {
+		s.b[oV+tau*nL+y] &= s.b[oW+x*nL+y]
+		s.b[oVR+tau*nL+y] &= s.b[oWR+x*nL+y]
+	}
+	s.b[oCV+tau] &= s.b[oCW+x]
+	s.b[oCVR+tau] &= s.b[oCWR+x]
+}
+
+// stepRMW applies the SCM transition for ⟨tau, RMW(x, M(x), vW)⟩.
+func stepRMW(s *state, tau, x int, vW uint8) {
+	xb := uint64(1) << x
+	vR := s.m[x]
+	vrCrit := crit[x]&(1<<vR) != 0
+	var vrBit uint64
+	if vrCrit {
+		vrBit = 1 << vR
+	}
+	oldVSCt := s.b[oVSC+tau]
+	oldMSCx := s.b[oMSC+x]
+	for p := 0; p < nT; p++ {
+		if p == tau {
+			s.b[oVSC+p] = oldVSCt | oldMSCx
+		} else {
+			s.b[oVSC+p] &^= xb
+		}
+	}
+	for y := 0; y < nL; y++ {
+		if y == x {
+			s.b[oMSC+y] = oldMSCx | oldVSCt
+			s.b[oWSC+y] = oldMSCx | oldVSCt
+		} else {
+			s.b[oMSC+y] &^= xb
+			s.b[oWSC+y] &^= xb
+		}
+	}
+	oldCVt, oldCVRt := s.b[oCV+tau], s.b[oCVR+tau]
+	oldCWx, oldCWRx := s.b[oCW+x], s.b[oCWR+x]
+	for y := 0; y < nL; y++ {
+		vi := s.b[oV+tau*nL+y] & s.b[oW+x*nL+y]
+		s.b[oV+tau*nL+y] = vi
+		s.b[oW+x*nL+y] = vi
+		ri := s.b[oVR+tau*nL+y] & s.b[oWR+x*nL+y]
+		s.b[oVR+tau*nL+y] = ri
+		s.b[oWR+x*nL+y] = ri
+	}
+	s.b[oW+x*nL+x] = 0
+	s.b[oWR+x*nL+x] = 0
+	s.b[oV+tau*nL+x] = 0
+	s.b[oVR+tau*nL+x] = 0
+	s.b[oCV+tau] = oldCVt & oldCWx
+	s.b[oCW+x] = (oldCWx & oldCVt) &^ xb
+	s.b[oCVR+tau] = oldCVRt & oldCWRx
+	s.b[oCWR+x] = (oldCWRx & oldCVRt) &^ xb
+	for p := 0; p < nT; p++ {
+		if p != tau {
+			s.b[oV+p*nL+x] |= vrBit
+			if !vrCrit {
+				s.b[oCV+p] |= xb
+			}
+		}
+	}
+	for z := 0; z < nL; z++ {
+		if z != x {
+			s.b[oW+z*nL+x] |= vrBit
+			if !vrCrit {
+				s.b[oCW+z] |= xb
+			}
+		}
+	}
+	s.m[x] = vW
+}
+
+// initState returns SCM's initial state composed with the program's
+// initial state (Init of §5).
+func initState() state {
+	var s state
+	allLocs := uint64(1)<<nL - 1
+	for t := 0; t < nT; t++ {
+		s.b[oVSC+t] = allLocs
+	}
+	for x := 0; x < nL; x++ {
+		s.b[oMSC+x] = 1 << x
+		s.b[oWSC+x] = 1 << x
+	}
+	return s
+}
+`)
+}

@@ -1,0 +1,151 @@
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// exprInt compiles an expression to a Go int expression with value in
+// [0, nV), reading registers from the flat register array at the thread's
+// offset.
+func (g *gen) exprInt(t int, e *lang.Expr) string {
+	switch e.Kind {
+	case lang.EConst:
+		return fmt.Sprintf("%d", int(e.Const)%g.p.ValCount)
+	case lang.EReg:
+		return fmt.Sprintf("int(s.regs[%d])", g.regOff[t]+int(e.Reg))
+	case lang.ENot:
+		return fmt.Sprintf("b2i(%s == 0)", g.exprInt(t, e.L))
+	}
+	l, r := g.exprInt(t, e.L), g.exprInt(t, e.R)
+	switch e.Op {
+	case lang.OpAdd:
+		return fmt.Sprintf("((%s + %s) %% nV)", l, r)
+	case lang.OpSub:
+		return fmt.Sprintf("(((%s - %s) %% nV + nV) %% nV)", l, r)
+	case lang.OpMul:
+		return fmt.Sprintf("((%s * %s) %% nV)", l, r)
+	case lang.OpMod:
+		return fmt.Sprintf("imod(%s, %s)", l, r)
+	case lang.OpEq:
+		return fmt.Sprintf("b2i(%s == %s)", l, r)
+	case lang.OpNe:
+		return fmt.Sprintf("b2i(%s != %s)", l, r)
+	case lang.OpLt:
+		return fmt.Sprintf("b2i(%s < %s)", l, r)
+	case lang.OpLe:
+		return fmt.Sprintf("b2i(%s <= %s)", l, r)
+	case lang.OpGt:
+		return fmt.Sprintf("b2i(%s > %s)", l, r)
+	case lang.OpGe:
+		return fmt.Sprintf("b2i(%s >= %s)", l, r)
+	case lang.OpAnd:
+		return fmt.Sprintf("b2i(%s != 0 && %s != 0)", l, r)
+	case lang.OpOr:
+		return fmt.Sprintf("b2i(%s != 0 || %s != 0)", l, r)
+	}
+	panic("emit: unknown operator")
+}
+
+// memLoc compiles a memory-reference resolution to a Go int expression.
+func (g *gen) memLoc(t int, m lang.MemRef) string {
+	if m.Index == nil {
+		return fmt.Sprintf("%d", m.Base)
+	}
+	return fmt.Sprintf("(%d + (%s)%%%d)", m.Base, g.exprInt(t, m.Index), m.Size)
+}
+
+// thread emits the specialized step functions of thread t:
+//
+//	epsN: run ε-instructions to the next memory operation; false on a
+//	      failed assert
+//	opN:  the pending memory operation (kind/loc/operands evaluated)
+//	appN: apply a memory label (vr = read value) and advance
+func (g *gen) thread(t int) {
+	th := &g.p.Threads[t]
+	term := len(th.Insts)
+	g.w("// Thread %d (%s).", t, th.Name)
+	g.w("func eps%d(s *state) bool {", t)
+	g.w("\tfor budget := 0; ; budget++ {")
+	g.w("\t\tif budget > 1<<16 { s.pc[%d] = %d; return true } // local ε-divergence: park", t, term)
+	g.w("\t\tswitch s.pc[%d] {", t)
+	for pc := range th.Insts {
+		in := &th.Insts[pc]
+		if in.IsMem() {
+			continue
+		}
+		g.w("\t\tcase %d:", pc)
+		switch in.Kind {
+		case lang.IAssign:
+			g.w("\t\t\ts.regs[%d] = uint8(%s)", g.regOff[t]+int(in.Reg), g.exprInt(t, in.E))
+			g.w("\t\t\ts.pc[%d] = %d", t, pc+1)
+		case lang.IGoto:
+			g.w("\t\t\tif %s != 0 { s.pc[%d] = %d } else { s.pc[%d] = %d }",
+				g.exprInt(t, in.E), t, in.Target, t, pc+1)
+		case lang.IAssert:
+			g.w("\t\t\tif %s == 0 { return false }", g.exprInt(t, in.E))
+			g.w("\t\t\ts.pc[%d] = %d", t, pc+1)
+		}
+	}
+	g.w("\t\tdefault:")
+	g.w("\t\t\treturn true // at a memory instruction or terminated")
+	g.w("\t\t}")
+	g.w("\t}")
+	g.w("}")
+	g.w("")
+
+	g.w("func op%d(s *state) op {", t)
+	g.w("\tswitch s.pc[%d] {", t)
+	for pc := range th.Insts {
+		in := &th.Insts[pc]
+		if !in.IsMem() {
+			continue
+		}
+		g.w("\tcase %d:", pc)
+		loc := g.memLoc(t, in.Mem)
+		switch in.Kind {
+		case lang.IWrite:
+			g.w("\t\treturn op{kind: opWrite, loc: uint8(%s), a: uint8(%s)}", loc, g.exprInt(t, in.E))
+		case lang.IRead:
+			g.w("\t\treturn op{kind: opRead, loc: uint8(%s)}", loc)
+		case lang.IFADD:
+			g.w("\t\treturn op{kind: opFADD, loc: uint8(%s), a: uint8(%s)}", loc, g.exprInt(t, in.E))
+		case lang.IXCHG:
+			g.w("\t\treturn op{kind: opXCHG, loc: uint8(%s), a: uint8(%s)}", loc, g.exprInt(t, in.E))
+		case lang.ICAS:
+			g.w("\t\treturn op{kind: opCAS, loc: uint8(%s), a: uint8(%s), b: uint8(%s)}",
+				loc, g.exprInt(t, in.ER), g.exprInt(t, in.EW))
+		case lang.IWait:
+			g.w("\t\treturn op{kind: opWait, loc: uint8(%s), a: uint8(%s)}", loc, g.exprInt(t, in.E))
+		case lang.IBCAS:
+			g.w("\t\treturn op{kind: opBCAS, loc: uint8(%s), a: uint8(%s), b: uint8(%s)}",
+				loc, g.exprInt(t, in.ER), g.exprInt(t, in.EW))
+		}
+	}
+	g.w("\t}")
+	g.w("\treturn op{kind: opNone}")
+	g.w("}")
+	g.w("")
+
+	g.w("func app%d(s *state, vr uint8) {", t)
+	g.w("\tswitch s.pc[%d] {", t)
+	for pc := range th.Insts {
+		in := &th.Insts[pc]
+		if !in.IsMem() {
+			continue
+		}
+		var set string
+		switch in.Kind {
+		case lang.IRead, lang.IFADD, lang.ICAS, lang.IXCHG:
+			set = fmt.Sprintf("s.regs[%d] = vr; ", g.regOff[t]+int(in.Reg))
+		}
+		g.w("\tcase %d:", pc)
+		g.w("\t\t%ss.pc[%d] = %d", set, t, pc+1)
+	}
+	g.w("\t}")
+	g.w("}")
+	g.w("")
+	_ = strings.TrimSpace
+}

@@ -1,0 +1,59 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+func TestStoreTrace(t *testing.T) {
+	s := explore.NewStore()
+	root := s.Root("a")
+	id1, new1 := s.Add("b", root, explore.Step{Tid: 0, Lab: lang.WriteLab(0, 1)})
+	id2, new2 := s.Add("c", id1, explore.Step{Tid: 1, Lab: lang.ReadLab(0, 1)})
+	if !new1 || !new2 {
+		t.Fatal("fresh states reported as duplicates")
+	}
+	if _, dup := s.Add("b", id2, explore.Step{}); dup {
+		t.Fatal("duplicate state reported as new")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	trace := s.Trace(id2)
+	if len(trace) != 2 || trace[0].Tid != 0 || trace[1].Tid != 1 {
+		t.Fatalf("trace wrong: %+v", trace)
+	}
+	if got := s.Trace(root); len(got) != 0 {
+		t.Fatalf("root trace should be empty, got %+v", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q explore.Queue[int]
+	for i := 0; i < 10000; i++ {
+		q.Push(int32(i), i*2)
+	}
+	for i := 0; i < 10000; i++ {
+		it, ok := q.Pop()
+		if !ok || it.ID != int32(i) || it.St != i*2 {
+			t.Fatalf("pop %d: got %+v ok=%v", i, it, ok)
+		}
+		// Interleave pushes to exercise compaction.
+		if i%3 == 0 {
+			q.Push(int32(10000+i), i)
+		}
+	}
+	if q.Len() == 0 {
+		t.Fatal("interleaved pushes should remain")
+	}
+	for {
+		if _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("drained queue has Len %d", q.Len())
+	}
+}

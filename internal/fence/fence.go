@@ -1,0 +1,279 @@
+// Package fence implements automatic robustness enforcement — the
+// application the paper's introduction motivates: "robustness of
+// non-robust programs may be enforced (by placing SC-fences or RMW
+// operations), and verifying the robustness of the strengthened program"
+// (§1; §9 lists the efficient version as future work on top of the
+// decision procedure).
+//
+// Two repair moves are supported, matching the paper's two recipes:
+//
+//   - inserting an SC fence: Example 3.6's FADD(f, 0) on a single
+//     distinguished location shared by all fences (a per-location or
+//     per-thread fence has no synchronizing power under RA);
+//   - strengthening a plain write into an RMW (an XCHG), the repair
+//     behind the peterson-ra-dmitriy variant of §7.
+//
+// The search enumerates repair sets smallest-first, using the core
+// verifier as the oracle, so a returned repair is verified robust and no
+// strictly smaller candidate within the chosen strategy is.
+package fence
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+// RepairKind distinguishes the two repair moves.
+type RepairKind uint8
+
+// Repair kinds.
+const (
+	// InsertFence places an SC fence before the instruction.
+	InsertFence RepairKind = iota
+	// StrengthenWrite turns the plain write at the instruction into an
+	// XCHG.
+	StrengthenWrite
+)
+
+// Placement identifies one repair in the original program's numbering:
+// a fence inserted before instruction At of thread Tid, or the write at
+// instruction At strengthened into an RMW.
+type Placement struct {
+	Kind RepairKind
+	Tid  lang.Tid
+	At   int
+}
+
+// String renders the placement.
+func (pl Placement) String() string {
+	verb := "fence before"
+	if pl.Kind == StrengthenWrite {
+		verb = "strengthen write at"
+	}
+	return fmt.Sprintf("thread %d: %s instruction %d", pl.Tid, verb, pl.At)
+}
+
+// Strategy selects which repair moves the search may use.
+type Strategy uint8
+
+// Strategies.
+const (
+	// Fences searches over SC-fence insertions only (the default).
+	Fences Strategy = iota
+	// RMWs searches over write strengthenings only.
+	RMWs
+	// Mixed searches over both move kinds.
+	Mixed
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxRepairs bounds the repair-set size searched (default 4).
+	MaxRepairs int
+	// Strategy selects the repair moves (default Fences).
+	Strategy Strategy
+	// Verify configures the robustness oracle.
+	Verify core.Options
+}
+
+// ErrNotEnforceable is returned when no repair within MaxRepairs makes
+// the program robust (e.g. the weak behaviour is inherent, or the program
+// has a data race or failing assertion that these repairs cannot fix).
+var ErrNotEnforceable = fmt.Errorf("fence: no repair within the bound enforces robustness")
+
+// Apply returns a copy of the program with the given repairs applied. For
+// fences it adds the distinguished fence location (the parser's FenceLoc,
+// reused if already present) and a scratch register per modified thread;
+// jump targets are remapped so that a jump to a fenced instruction
+// executes the fence first (a fence inside a loop runs every iteration).
+// Strengthened writes keep their position and targets.
+func Apply(p *lang.Program, placements []Placement) *lang.Program {
+	out := &lang.Program{
+		Name:     p.Name,
+		ValCount: p.ValCount,
+		Locs:     append([]lang.LocInfo(nil), p.Locs...),
+	}
+	fl, haveFence := p.LocByName(parser.FenceLoc)
+	needFence := false
+	for _, pl := range placements {
+		if pl.Kind == InsertFence {
+			needFence = true
+		}
+	}
+	if needFence && !haveFence {
+		fl = lang.Loc(len(out.Locs))
+		out.Locs = append(out.Locs, lang.LocInfo{Name: parser.FenceLoc})
+	}
+	fences := map[lang.Tid]map[int]int{}
+	strengthen := map[lang.Tid]map[int]bool{}
+	for _, pl := range placements {
+		switch pl.Kind {
+		case InsertFence:
+			if fences[pl.Tid] == nil {
+				fences[pl.Tid] = map[int]int{}
+			}
+			fences[pl.Tid][pl.At]++
+		case StrengthenWrite:
+			if strengthen[pl.Tid] == nil {
+				strengthen[pl.Tid] = map[int]bool{}
+			}
+			strengthen[pl.Tid][pl.At] = true
+		}
+	}
+	for ti := range p.Threads {
+		src := &p.Threads[ti]
+		tid := lang.Tid(ti)
+		t := lang.SeqProg{
+			Name:     src.Name,
+			NumRegs:  src.NumRegs,
+			RegNames: append([]string(nil), src.RegNames...),
+		}
+		before := fences[tid]
+		strong := strengthen[tid]
+		var scratch lang.Reg
+		if len(before) > 0 || len(strong) > 0 {
+			scratch = lang.Reg(t.NumRegs)
+			t.NumRegs++
+			t.RegNames = append(t.RegNames, "__fr")
+		}
+		shift := func(target int) int {
+			n := 0
+			for pos, c := range before {
+				if pos < target {
+					n += c
+				}
+			}
+			return target + n
+		}
+		for pc := range src.Insts {
+			for i := 0; i < before[pc]; i++ {
+				t.Insts = append(t.Insts, lang.Inst{
+					Kind: lang.IFADD,
+					Reg:  scratch,
+					Mem:  lang.MemRef{Base: fl, Size: 1},
+					E:    lang.Const(0),
+					Line: src.Insts[pc].Line,
+				})
+			}
+			in := src.Insts[pc]
+			if in.Kind == lang.IGoto {
+				in.Target = shift(in.Target)
+			}
+			if strong[pc] {
+				if in.Kind != lang.IWrite {
+					panic("fence: StrengthenWrite on a non-write instruction")
+				}
+				in = lang.Inst{
+					Kind: lang.IXCHG,
+					Reg:  scratch,
+					Mem:  in.Mem,
+					E:    in.E,
+					Line: in.Line,
+				}
+			}
+			t.Insts = append(t.Insts, in)
+		}
+		out.Threads = append(out.Threads, t)
+	}
+	return out
+}
+
+// Insert is Apply restricted to fence insertions, kept as the simple
+// entry point for the common case.
+func Insert(p *lang.Program, placements []Placement) *lang.Program {
+	return Apply(p, placements)
+}
+
+// candidates returns the repair moves the strategy admits: fences before
+// every memory instruction with an earlier memory instruction in the same
+// thread (anywhere else a fence is equivalent to one of these points or
+// useless), and strengthenings of every plain write.
+func candidates(p *lang.Program, strategy Strategy) []Placement {
+	var out []Placement
+	for ti := range p.Threads {
+		seenMem := false
+		for pc := range p.Threads[ti].Insts {
+			in := &p.Threads[ti].Insts[pc]
+			if !in.IsMem() {
+				continue
+			}
+			if strategy != RMWs && seenMem {
+				out = append(out, Placement{Kind: InsertFence, Tid: lang.Tid(ti), At: pc})
+			}
+			if strategy != Fences && in.Kind == lang.IWrite {
+				out = append(out, Placement{Kind: StrengthenWrite, Tid: lang.Tid(ti), At: pc})
+			}
+			seenMem = true
+		}
+	}
+	return out
+}
+
+// Enforce searches for a minimal repair set that makes the program
+// execution-graph robust against RA. It returns the placements (empty if
+// the program is already robust) and the strengthened program.
+func Enforce(p *lang.Program, opts Options) ([]Placement, *lang.Program, error) {
+	if opts.MaxRepairs <= 0 {
+		opts.MaxRepairs = 4
+	}
+	if opts.Verify == (core.Options{}) {
+		opts.Verify = core.DefaultOptions()
+	}
+	robust := func(q *lang.Program) (bool, error) {
+		v, err := core.Verify(q, opts.Verify)
+		if err != nil {
+			return false, err
+		}
+		if v.AssertFail != nil {
+			return false, fmt.Errorf("fence: program has a failing assertion under SC")
+		}
+		return v.Robust, nil
+	}
+	if ok, err := robust(p); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return nil, p, nil
+	}
+	cands := candidates(p, opts.Strategy)
+	pick := make([]int, 0, opts.MaxRepairs)
+	var search func(size, from int) ([]Placement, *lang.Program, error)
+	search = func(size, from int) ([]Placement, *lang.Program, error) {
+		if size == 0 {
+			pls := make([]Placement, len(pick))
+			for i, ci := range pick {
+				pls[i] = cands[ci]
+			}
+			q := Apply(p, pls)
+			ok, err := robust(q)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				return pls, q, nil
+			}
+			return nil, nil, nil
+		}
+		for ci := from; ci < len(cands); ci++ {
+			pick = append(pick, ci)
+			pls, q, err := search(size-1, ci+1)
+			pick = pick[:len(pick)-1]
+			if err != nil || pls != nil {
+				return pls, q, err
+			}
+		}
+		return nil, nil, nil
+	}
+	for size := 1; size <= opts.MaxRepairs; size++ {
+		pls, q, err := search(size, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pls != nil {
+			return pls, q, nil
+		}
+	}
+	return nil, nil, ErrNotEnforceable
+}

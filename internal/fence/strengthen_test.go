@@ -1,0 +1,80 @@
+package fence_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fence"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+)
+
+// TestStrengthenPeterson rediscovers V'jukov's repair automatically: with
+// the RMW strategy, the minimal strengthening of peterson-sc turns
+// exactly the two turn writes into exchanges — the peterson-ra-dmitriy
+// variant of §7 — and the search never proposes the flag writes (the
+// peterson-ra-bratosz mistake), because that candidate set is verified
+// non-robust and rejected.
+func TestStrengthenPeterson(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair search over peterson is slow")
+	}
+	e, _ := litmus.Get("peterson-sc")
+	p := e.Program()
+	pls, fixed, err := fence.Enforce(p, fence.Options{MaxRepairs: 2, Strategy: fence.RMWs})
+	if err != nil {
+		t.Fatalf("enforce: %v", err)
+	}
+	if len(pls) != 2 {
+		t.Fatalf("expected 2 strengthenings, got %v", pls)
+	}
+	turn, _ := p.LocByName("turn")
+	for _, pl := range pls {
+		if pl.Kind != fence.StrengthenWrite {
+			t.Fatalf("expected a strengthening, got %v", pl)
+		}
+		in := &p.Threads[pl.Tid].Insts[pl.At]
+		if in.Kind != lang.IWrite || in.Mem.Base != turn {
+			t.Errorf("strengthened %q, want the turn write", p.FmtInst(&p.Threads[pl.Tid], in))
+		}
+	}
+	v, err := core.Verify(fixed, core.DefaultOptions())
+	if err != nil || !v.Robust {
+		t.Fatalf("strengthened peterson not robust")
+	}
+}
+
+// TestStrengthenApplyShape checks that Apply turns the designated write
+// into an XCHG with a fresh scratch destination and leaves the rest of
+// the thread intact.
+func TestStrengthenApplyShape(t *testing.T) {
+	e, _ := litmus.Get("SB")
+	p := e.Program()
+	fixed := fence.Apply(p, []fence.Placement{{Kind: fence.StrengthenWrite, Tid: 0, At: 0}})
+	t0 := fixed.Threads[0]
+	if t0.Insts[0].Kind != lang.IXCHG {
+		t.Fatalf("instruction 0 is %v, want XCHG", t0.Insts[0].Kind)
+	}
+	if t0.NumRegs != p.Threads[0].NumRegs+1 {
+		t.Errorf("expected one scratch register to be added")
+	}
+	if len(t0.Insts) != len(p.Threads[0].Insts) {
+		t.Errorf("strengthening must not change the instruction count")
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Fatalf("strengthened program invalid: %v", err)
+	}
+	// A single strengthened write does not repair SB (no second fence
+	// point): the full mixed search with budget 2 must still succeed.
+	pls, q, err := fence.Enforce(p, fence.Options{MaxRepairs: 2, Strategy: fence.Mixed})
+	if err != nil {
+		t.Fatalf("mixed enforce: %v", err)
+	}
+	if len(pls) != 2 {
+		t.Fatalf("mixed repair of SB should need 2 moves, got %v", pls)
+	}
+	v, err := core.Verify(q, core.DefaultOptions())
+	if err != nil || !v.Robust {
+		t.Fatalf("mixed-repaired SB not robust")
+	}
+}

@@ -1,0 +1,626 @@
+// Package lang defines the toy concurrent programming language of
+// Lahav & Margalit, "Robustness against Release/Acquire Semantics"
+// (PLDI 2019), Figure 1.
+//
+// A program operates over a bounded data domain Val = {0, ..., ValCount-1}
+// (arithmetic wraps around, as in Example 2.2 of the paper), a finite set of
+// shared locations, and per-thread register files. Shared locations are
+// either release/acquire ("atomic") locations or, per the extension of §6,
+// non-atomic locations. Fixed-size arrays are supported as contiguous blocks
+// of locations with a dynamically evaluated index; this is required to
+// express the work-stealing-deque benchmarks of the paper's evaluation
+// (Figure 7) and does not change the semantics — an array access is an
+// ordinary access to the resolved cell location.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Val is a value of the bounded data domain. All arithmetic on values is
+// performed modulo the program's ValCount.
+type Val uint8
+
+// Loc identifies a shared memory location (an index into Program.Locs).
+// Array cells occupy consecutive Loc indices.
+type Loc uint8
+
+// Reg identifies a thread-local register (an index into the thread's
+// register file).
+type Reg uint8
+
+// Tid identifies a thread (an index into Program.Threads).
+type Tid uint8
+
+// LabType is the type of a memory-access label: read, write, or
+// read-modify-write (Definition 2.1 of the paper).
+type LabType uint8
+
+// Label types.
+const (
+	// LRead is a read label R(x, vR).
+	LRead LabType = iota
+	// LWrite is a write label W(x, vW).
+	LWrite
+	// LRMW is a read-modify-write label RMW(x, vR, vW).
+	LRMW
+)
+
+// String returns "R", "W" or "RMW".
+func (t LabType) String() string {
+	switch t {
+	case LRead:
+		return "R"
+	case LWrite:
+		return "W"
+	case LRMW:
+		return "RMW"
+	}
+	return fmt.Sprintf("LabType(%d)", uint8(t))
+}
+
+// Label is a memory-access label l ∈ Lab (Definition 2.1): one of R(x, vR),
+// W(x, vW), or RMW(x, vR, vW). For reads VW is unused; for writes VR is
+// unused.
+type Label struct {
+	Typ LabType
+	Loc Loc
+	VR  Val // value read (R and RMW labels)
+	VW  Val // value written (W and RMW labels)
+}
+
+// ReadLab constructs a read label R(x, v).
+func ReadLab(x Loc, v Val) Label { return Label{Typ: LRead, Loc: x, VR: v} }
+
+// WriteLab constructs a write label W(x, v).
+func WriteLab(x Loc, v Val) Label { return Label{Typ: LWrite, Loc: x, VW: v} }
+
+// RMWLab constructs a read-modify-write label RMW(x, vR, vW).
+func RMWLab(x Loc, vR, vW Val) Label { return Label{Typ: LRMW, Loc: x, VR: vR, VW: vW} }
+
+// IsRead reports whether the label reads memory (R or RMW).
+func (l Label) IsRead() bool { return l.Typ == LRead || l.Typ == LRMW }
+
+// IsWrite reports whether the label writes memory (W or RMW).
+func (l Label) IsWrite() bool { return l.Typ == LWrite || l.Typ == LRMW }
+
+// String renders the label in the paper's notation, with the location shown
+// by index (use Program.FmtLabel for named output).
+func (l Label) String() string {
+	switch l.Typ {
+	case LRead:
+		return fmt.Sprintf("R(x%d,%d)", l.Loc, l.VR)
+	case LWrite:
+		return fmt.Sprintf("W(x%d,%d)", l.Loc, l.VW)
+	default:
+		return fmt.Sprintf("RMW(x%d,%d,%d)", l.Loc, l.VR, l.VW)
+	}
+}
+
+// BinOp is a binary operator in expressions.
+type BinOp uint8
+
+// Binary operators. Arithmetic wraps modulo ValCount; comparisons and
+// logical operators yield 0 or 1.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "%", "=", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+// String returns the operator's source form.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	EConst ExprKind = iota // a value literal
+	EReg                   // a register
+	EBin                   // a binary operation
+	ENot                   // logical negation
+)
+
+// Expr is an expression over registers and values (Figure 1). Expressions
+// never access shared memory.
+type Expr struct {
+	Kind  ExprKind
+	Const Val   // EConst
+	Reg   Reg   // EReg
+	Op    BinOp // EBin
+	L, R  *Expr // EBin; ENot uses L only
+}
+
+// Const returns a constant expression.
+func Const(v Val) *Expr { return &Expr{Kind: EConst, Const: v} }
+
+// RegE returns a register expression.
+func RegE(r Reg) *Expr { return &Expr{Kind: EReg, Reg: r} }
+
+// Bin returns a binary operation expression.
+func Bin(op BinOp, l, r *Expr) *Expr { return &Expr{Kind: EBin, Op: op, L: l, R: r} }
+
+// Not returns a logical negation expression.
+func Not(e *Expr) *Expr { return &Expr{Kind: ENot, L: e} }
+
+// Eval evaluates the expression under register store phi, with arithmetic
+// modulo valCount. Comparison and logical operators return 1 for true and 0
+// for false, matching the conventions of Example 2.2.
+func (e *Expr) Eval(phi []Val, valCount int) Val {
+	switch e.Kind {
+	case EConst:
+		return Val(int(e.Const) % valCount)
+	case EReg:
+		return phi[e.Reg]
+	case ENot:
+		if e.L.Eval(phi, valCount) == 0 {
+			return 1
+		}
+		return 0
+	}
+	a, b := e.L.Eval(phi, valCount), e.R.Eval(phi, valCount)
+	switch e.Op {
+	case OpAdd:
+		return Val((int(a) + int(b)) % valCount)
+	case OpSub:
+		return Val(((int(a)-int(b))%valCount + valCount) % valCount)
+	case OpMul:
+		return Val((int(a) * int(b)) % valCount)
+	case OpMod:
+		if b == 0 {
+			return 0
+		}
+		return Val(int(a) % int(b))
+	case OpEq:
+		return b2v(a == b)
+	case OpNe:
+		return b2v(a != b)
+	case OpLt:
+		return b2v(a < b)
+	case OpLe:
+		return b2v(a <= b)
+	case OpGt:
+		return b2v(a > b)
+	case OpGe:
+		return b2v(a >= b)
+	case OpAnd:
+		return b2v(a != 0 && b != 0)
+	case OpOr:
+		return b2v(a != 0 || b != 0)
+	}
+	panic("lang: unknown operator")
+}
+
+func b2v(b bool) Val {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IsConst reports whether the expression is a literal, and its value if so.
+// Used by the critical-value analysis (§5.1) — constant comparands of wait,
+// CAS and BCAS induce critical values.
+func (e *Expr) IsConst() (Val, bool) {
+	if e.Kind == EConst {
+		return e.Const, true
+	}
+	return 0, false
+}
+
+// String renders the expression in source form (registers as r<i>).
+func (e *Expr) String() string {
+	switch e.Kind {
+	case EConst:
+		return fmt.Sprintf("%d", e.Const)
+	case EReg:
+		return fmt.Sprintf("r%d", e.Reg)
+	case ENot:
+		return "!(" + e.L.String() + ")"
+	}
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// MemRef designates a shared-memory operand: either a scalar location
+// (Index == nil) or an array cell base[Index % Size].
+type MemRef struct {
+	Base  Loc
+	Size  int   // 1 for scalars, the declared size for arrays
+	Index *Expr // nil for scalars
+}
+
+// Resolve computes the concrete location the reference denotes under
+// register store phi. Array indices wrap modulo the array size, keeping all
+// accesses in bounds (the corpus programs index modulo the buffer size
+// anyway, mirroring the ring buffers of the deque benchmarks).
+func (m MemRef) Resolve(phi []Val, valCount int) Loc {
+	if m.Index == nil {
+		return m.Base
+	}
+	i := int(m.Index.Eval(phi, valCount)) % m.Size
+	return m.Base + Loc(i)
+}
+
+// String renders the reference with the base location index.
+func (m MemRef) String() string {
+	if m.Index == nil {
+		return fmt.Sprintf("x%d", m.Base)
+	}
+	return fmt.Sprintf("x%d[%s]", m.Base, m.Index)
+}
+
+// InstKind discriminates instructions (Figure 1, plus assert and the §6
+// non-atomic accesses, which reuse IWrite/IRead on non-atomic locations).
+type InstKind uint8
+
+// Instruction kinds.
+const (
+	IAssign InstKind = iota // r := e
+	IGoto                   // if e goto n
+	IWrite                  // x := e
+	IRead                   // r := x
+	IFADD                   // r := FADD(x, e)
+	ICAS                    // r := CAS(x, eR, eW)
+	IWait                   // wait(x = e)
+	IBCAS                   // BCAS(x, eR, eW)
+	IAssert                 // assert e (checked under SC; see §7: Rocker
+	// verifies standard assertions alongside robustness)
+	IXCHG // r := XCHG(x, e): atomic exchange. The paper's repair recipe
+	// strengthens selected writes into RMW operations (§1, §7's
+	// peterson-ra-dmitriy); XCHG is that strengthened write: it stores
+	// e and loads the old value, enabling RMW(x, v, e) for every v.
+)
+
+// Inst is a single instruction. Fields are used according to Kind:
+//
+//	IAssign: Reg := E
+//	IGoto:   if E != 0, jump to Target
+//	IWrite:  Mem := E
+//	IRead:   Reg := Mem
+//	IFADD:   Reg := FADD(Mem, E)
+//	ICAS:    Reg := CAS(Mem, ER, EW)
+//	IWait:   wait(Mem = E)
+//	IBCAS:   BCAS(Mem, ER, EW)
+//	IAssert: assert E != 0
+type Inst struct {
+	Kind   InstKind
+	Reg    Reg
+	Mem    MemRef
+	E      *Expr
+	ER, EW *Expr
+	Target int
+	// Line is the source line of the instruction, for diagnostics.
+	Line int
+}
+
+// IsMem reports whether the instruction performs a shared-memory access
+// (i.e. is not an ε-instruction in the LTS of Figure 2).
+func (in *Inst) IsMem() bool {
+	switch in.Kind {
+	case IAssign, IGoto, IAssert:
+		return false
+	}
+	return true
+}
+
+// String renders the instruction in source-like form.
+func (in *Inst) String() string {
+	switch in.Kind {
+	case IAssign:
+		return fmt.Sprintf("r%d := %s", in.Reg, in.E)
+	case IGoto:
+		return fmt.Sprintf("if %s goto %d", in.E, in.Target)
+	case IWrite:
+		return fmt.Sprintf("%s := %s", in.Mem, in.E)
+	case IRead:
+		return fmt.Sprintf("r%d := %s", in.Reg, in.Mem)
+	case IFADD:
+		return fmt.Sprintf("r%d := FADD(%s, %s)", in.Reg, in.Mem, in.E)
+	case IXCHG:
+		return fmt.Sprintf("r%d := XCHG(%s, %s)", in.Reg, in.Mem, in.E)
+	case ICAS:
+		return fmt.Sprintf("r%d := CAS(%s, %s, %s)", in.Reg, in.Mem, in.ER, in.EW)
+	case IWait:
+		return fmt.Sprintf("wait(%s = %s)", in.Mem, in.E)
+	case IBCAS:
+		return fmt.Sprintf("BCAS(%s, %s, %s)", in.Mem, in.ER, in.EW)
+	case IAssert:
+		return fmt.Sprintf("assert %s", in.E)
+	}
+	return "?"
+}
+
+// LocInfo describes one shared location.
+type LocInfo struct {
+	Name string
+	// NA marks the location non-atomic (§6). Non-atomic locations admit
+	// only plain reads and writes, and racy concurrent access to them is
+	// undefined behaviour that the checker must rule out.
+	NA bool
+}
+
+// SeqProg is a sequential program S ∈ SProg: a finite sequence of
+// instructions, with the program counter starting at 0 (§2.1). Jump targets
+// are instruction indices.
+type SeqProg struct {
+	Name     string
+	Insts    []Inst
+	NumRegs  int
+	RegNames []string // for diagnostics; len == NumRegs
+}
+
+// Program is a concurrent program P: a top-level parallel composition of
+// sequential programs (§2.1), together with its data domain and location
+// declarations.
+type Program struct {
+	Name     string
+	ValCount int // |Val|; values are {0, ..., ValCount-1}, initial value 0
+	Locs     []LocInfo
+	Threads  []SeqProg
+}
+
+// NumLocs returns |Loc|.
+func (p *Program) NumLocs() int { return len(p.Locs) }
+
+// NumThreads returns |Tid|.
+func (p *Program) NumThreads() int { return len(p.Threads) }
+
+// LocName returns the declared name of location x.
+func (p *Program) LocName(x Loc) string { return p.Locs[x].Name }
+
+// LocByName returns the location with the given name, if any.
+func (p *Program) LocByName(name string) (Loc, bool) {
+	for i, li := range p.Locs {
+		if li.Name == name {
+			return Loc(i), true
+		}
+	}
+	return 0, false
+}
+
+// FmtLabel renders a label with the program's location names.
+func (p *Program) FmtLabel(l Label) string {
+	name := p.LocName(l.Loc)
+	switch l.Typ {
+	case LRead:
+		return fmt.Sprintf("R(%s,%d)", name, l.VR)
+	case LWrite:
+		return fmt.Sprintf("W(%s,%d)", name, l.VW)
+	default:
+		return fmt.Sprintf("RMW(%s,%d,%d)", name, l.VR, l.VW)
+	}
+}
+
+// FmtInst renders an instruction of thread t with the program's location
+// names and the thread's register names.
+func (p *Program) FmtInst(t *SeqProg, in *Inst) string {
+	reg := func(r Reg) string {
+		if int(r) < len(t.RegNames) {
+			return t.RegNames[r]
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+	var expr func(e *Expr) string
+	expr = func(e *Expr) string {
+		switch e.Kind {
+		case EConst:
+			return fmt.Sprintf("%d", e.Const)
+		case EReg:
+			return reg(e.Reg)
+		case ENot:
+			return "!(" + expr(e.L) + ")"
+		}
+		return "(" + expr(e.L) + " " + e.Op.String() + " " + expr(e.R) + ")"
+	}
+	mem := func(m MemRef) string {
+		if m.Index == nil {
+			return p.LocName(m.Base)
+		}
+		base := p.LocName(m.Base)
+		// Strip the cell suffix of the first element to recover the
+		// array name.
+		if i := strings.IndexByte(base, '['); i >= 0 {
+			base = base[:i]
+		}
+		return base + "[" + expr(m.Index) + "]"
+	}
+	switch in.Kind {
+	case IAssign:
+		return fmt.Sprintf("%s := %s", reg(in.Reg), expr(in.E))
+	case IGoto:
+		return fmt.Sprintf("if %s goto %d", expr(in.E), in.Target)
+	case IWrite:
+		return fmt.Sprintf("%s := %s", mem(in.Mem), expr(in.E))
+	case IRead:
+		return fmt.Sprintf("%s := %s", reg(in.Reg), mem(in.Mem))
+	case IFADD:
+		return fmt.Sprintf("%s := FADD(%s, %s)", reg(in.Reg), mem(in.Mem), expr(in.E))
+	case IXCHG:
+		return fmt.Sprintf("%s := XCHG(%s, %s)", reg(in.Reg), mem(in.Mem), expr(in.E))
+	case ICAS:
+		return fmt.Sprintf("%s := CAS(%s, %s, %s)", reg(in.Reg), mem(in.Mem), expr(in.ER), expr(in.EW))
+	case IWait:
+		return fmt.Sprintf("wait(%s = %s)", mem(in.Mem), expr(in.E))
+	case IBCAS:
+		return fmt.Sprintf("BCAS(%s, %s, %s)", mem(in.Mem), expr(in.ER), expr(in.EW))
+	case IAssert:
+		return fmt.Sprintf("assert %s", expr(in.E))
+	}
+	return "?"
+}
+
+// Validate checks internal consistency of the program: value bounds,
+// location bounds, register bounds, jump targets, and the §6 restriction
+// that non-atomic locations are accessed only by plain reads and writes.
+func (p *Program) Validate() error {
+	if p.ValCount < 2 || p.ValCount > 64 {
+		return fmt.Errorf("lang: ValCount must be in [2,64], got %d", p.ValCount)
+	}
+	if len(p.Locs) == 0 || len(p.Locs) > 64 {
+		return fmt.Errorf("lang: number of locations must be in [1,64], got %d", len(p.Locs))
+	}
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("lang: program has no threads")
+	}
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		for pc := range t.Insts {
+			in := &t.Insts[pc]
+			if err := p.validateInst(t, in); err != nil {
+				return fmt.Errorf("thread %s, inst %d (%s): %w", t.Name, pc, in, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateInst(t *SeqProg, in *Inst) error {
+	checkExpr := func(e *Expr) error {
+		if e == nil {
+			return fmt.Errorf("missing expression")
+		}
+		var walk func(e *Expr) error
+		walk = func(e *Expr) error {
+			switch e.Kind {
+			case EConst:
+				if int(e.Const) >= p.ValCount {
+					return fmt.Errorf("constant %d out of domain [0,%d)", e.Const, p.ValCount)
+				}
+			case EReg:
+				if int(e.Reg) >= t.NumRegs {
+					return fmt.Errorf("register r%d out of range", e.Reg)
+				}
+			case ENot:
+				return walk(e.L)
+			case EBin:
+				if err := walk(e.L); err != nil {
+					return err
+				}
+				return walk(e.R)
+			}
+			return nil
+		}
+		return walk(e)
+	}
+	checkMem := func(m MemRef, rmw bool) error {
+		if int(m.Base)+m.Size > len(p.Locs) || m.Size < 1 {
+			return fmt.Errorf("memory reference out of range")
+		}
+		if m.Index != nil {
+			if err := checkExpr(m.Index); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < m.Size; i++ {
+			if p.Locs[m.Base+Loc(i)].NA && rmw {
+				return fmt.Errorf("RMW/wait on non-atomic location %s", p.Locs[m.Base+Loc(i)].Name)
+			}
+		}
+		return nil
+	}
+	checkReg := func(r Reg) error {
+		if int(r) >= t.NumRegs {
+			return fmt.Errorf("register r%d out of range", r)
+		}
+		return nil
+	}
+	switch in.Kind {
+	case IAssign:
+		if err := checkReg(in.Reg); err != nil {
+			return err
+		}
+		return checkExpr(in.E)
+	case IGoto:
+		if in.Target < 0 || in.Target > len(t.Insts) {
+			return fmt.Errorf("jump target %d out of range", in.Target)
+		}
+		return checkExpr(in.E)
+	case IAssert:
+		return checkExpr(in.E)
+	case IWrite:
+		if err := checkMem(in.Mem, false); err != nil {
+			return err
+		}
+		return checkExpr(in.E)
+	case IRead:
+		if err := checkReg(in.Reg); err != nil {
+			return err
+		}
+		return checkMem(in.Mem, false)
+	case IFADD, IXCHG:
+		if err := checkReg(in.Reg); err != nil {
+			return err
+		}
+		if err := checkMem(in.Mem, true); err != nil {
+			return err
+		}
+		return checkExpr(in.E)
+	case ICAS:
+		if err := checkReg(in.Reg); err != nil {
+			return err
+		}
+		if err := checkMem(in.Mem, true); err != nil {
+			return err
+		}
+		if err := checkExpr(in.ER); err != nil {
+			return err
+		}
+		return checkExpr(in.EW)
+	case IWait:
+		if err := checkMem(in.Mem, true); err != nil {
+			return err
+		}
+		return checkExpr(in.E)
+	case IBCAS:
+		if err := checkMem(in.Mem, true); err != nil {
+			return err
+		}
+		if err := checkExpr(in.ER); err != nil {
+			return err
+		}
+		return checkExpr(in.EW)
+	}
+	return fmt.Errorf("unknown instruction kind %d", in.Kind)
+}
+
+// LoC returns the total number of instructions across all threads — the
+// "LoC" column of the paper's Figure 7.
+func (p *Program) LoC() int {
+	n := 0
+	for i := range p.Threads {
+		n += len(p.Threads[i].Insts)
+	}
+	return n
+}
+
+// String renders the whole program as a listing.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (vals %d)\n", p.Name, p.ValCount)
+	for i := range p.Threads {
+		t := &p.Threads[i]
+		fmt.Fprintf(&b, "thread %s:\n", t.Name)
+		for pc := range t.Insts {
+			fmt.Fprintf(&b, "  %2d: %s\n", pc, &t.Insts[pc])
+		}
+	}
+	return b.String()
+}

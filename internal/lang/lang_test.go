@@ -1,0 +1,158 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+)
+
+func TestExprEval(t *testing.T) {
+	phi := []lang.Val{2, 3}
+	for _, tc := range []struct {
+		e    *lang.Expr
+		vc   int
+		want lang.Val
+	}{
+		{lang.Const(3), 4, 3},
+		{lang.RegE(0), 4, 2},
+		{lang.Bin(lang.OpAdd, lang.RegE(0), lang.RegE(1)), 4, 1}, // 5 mod 4
+		{lang.Bin(lang.OpAdd, lang.Const(2), lang.Const(3)), 8, 5},
+		{lang.Bin(lang.OpSub, lang.Const(1), lang.Const(3)), 4, 2}, // wraps
+		{lang.Bin(lang.OpMul, lang.RegE(0), lang.RegE(1)), 4, 2},   // 6 mod 4
+		{lang.Bin(lang.OpMod, lang.RegE(1), lang.RegE(0)), 4, 1},
+		{lang.Bin(lang.OpMod, lang.RegE(0), lang.Const(0)), 4, 0}, // mod 0 = 0
+		{lang.Bin(lang.OpEq, lang.RegE(0), lang.Const(2)), 4, 1},
+		{lang.Bin(lang.OpNe, lang.RegE(0), lang.Const(2)), 4, 0},
+		{lang.Bin(lang.OpLt, lang.RegE(0), lang.RegE(1)), 4, 1},
+		{lang.Bin(lang.OpLe, lang.RegE(1), lang.RegE(1)), 4, 1},
+		{lang.Bin(lang.OpGt, lang.RegE(0), lang.RegE(1)), 4, 0},
+		{lang.Bin(lang.OpGe, lang.RegE(1), lang.RegE(0)), 4, 1},
+		{lang.Bin(lang.OpAnd, lang.Const(1), lang.Const(2)), 4, 1},
+		{lang.Bin(lang.OpAnd, lang.Const(1), lang.Const(0)), 4, 0},
+		{lang.Bin(lang.OpOr, lang.Const(0), lang.Const(0)), 4, 0},
+		{lang.Bin(lang.OpOr, lang.Const(0), lang.Const(2)), 4, 1},
+		{lang.Not(lang.Const(0)), 4, 1},
+		{lang.Not(lang.Const(3)), 4, 0},
+	} {
+		if got := tc.e.Eval(phi, tc.vc); got != tc.want {
+			t.Errorf("%s (mod %d) = %d, want %d", tc.e, tc.vc, got, tc.want)
+		}
+	}
+}
+
+// TestArithmeticStaysInDomain property-checks that evaluation never
+// escapes the bounded value domain, for arbitrary register stores.
+func TestArithmeticStaysInDomain(t *testing.T) {
+	f := func(a, b uint8, op uint8) bool {
+		vc := 4
+		e := lang.Bin(lang.BinOp(op%12), lang.RegE(0), lang.RegE(1))
+		phi := []lang.Val{lang.Val(a % 4), lang.Val(b % 4)}
+		return int(e.Eval(phi, vc)) < vc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	r := lang.ReadLab(1, 2)
+	w := lang.WriteLab(1, 3)
+	u := lang.RMWLab(1, 2, 3)
+	if !r.IsRead() || r.IsWrite() {
+		t.Errorf("read label classified wrong")
+	}
+	if w.IsRead() || !w.IsWrite() {
+		t.Errorf("write label classified wrong")
+	}
+	if !u.IsRead() || !u.IsWrite() {
+		t.Errorf("RMW label classified wrong")
+	}
+}
+
+func TestMemRefResolve(t *testing.T) {
+	m := lang.MemRef{Base: 2, Size: 3, Index: lang.RegE(0)}
+	for i, want := range []lang.Loc{2, 3, 4, 2, 3} {
+		if got := m.Resolve([]lang.Val{lang.Val(i)}, 8); got != want {
+			t.Errorf("resolve with index %d = %d, want %d", i, got, want)
+		}
+	}
+	s := lang.MemRef{Base: 1, Size: 1}
+	if got := s.Resolve(nil, 8); got != 1 {
+		t.Errorf("scalar resolve = %d", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *lang.Program {
+		return &lang.Program{
+			Name:     "p",
+			ValCount: 4,
+			Locs:     []lang.LocInfo{{Name: "x"}, {Name: "d", NA: true}},
+			Threads: []lang.SeqProg{{
+				Name: "t", NumRegs: 1, RegNames: []string{"r"},
+				Insts: []lang.Inst{{Kind: lang.IWrite, Mem: lang.MemRef{Base: 0, Size: 1}, E: lang.Const(1)}},
+			}},
+		}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*lang.Program){
+		"huge value": func(p *lang.Program) { p.Threads[0].Insts[0].E = lang.Const(9) },
+		"bad register": func(p *lang.Program) {
+			p.Threads[0].Insts[0] = lang.Inst{Kind: lang.IRead, Reg: 5, Mem: lang.MemRef{Base: 0, Size: 1}}
+		},
+		"bad location": func(p *lang.Program) { p.Threads[0].Insts[0].Mem.Base = 7 },
+		"RMW on NA": func(p *lang.Program) {
+			p.Threads[0].Insts[0] = lang.Inst{Kind: lang.IFADD, Reg: 0, Mem: lang.MemRef{Base: 1, Size: 1}, E: lang.Const(0)}
+		},
+		"wait on NA": func(p *lang.Program) {
+			p.Threads[0].Insts[0] = lang.Inst{Kind: lang.IWait, Mem: lang.MemRef{Base: 1, Size: 1}, E: lang.Const(0)}
+		},
+		"bad jump target": func(p *lang.Program) {
+			p.Threads[0].Insts[0] = lang.Inst{Kind: lang.IGoto, E: lang.Const(1), Target: 9}
+		},
+		"no threads":   func(p *lang.Program) { p.Threads = nil },
+		"tiny domain":  func(p *lang.Program) { p.ValCount = 1 },
+		"missing expr": func(p *lang.Program) { p.Threads[0].Insts[0].E = nil },
+	} {
+		p := base()
+		mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestProgramStringAndLoC(t *testing.T) {
+	p := &lang.Program{
+		Name:     "demo",
+		ValCount: 4,
+		Locs:     []lang.LocInfo{{Name: "x"}},
+		Threads: []lang.SeqProg{{
+			Name: "t", NumRegs: 1, RegNames: []string{"r"},
+			Insts: []lang.Inst{
+				{Kind: lang.IRead, Reg: 0, Mem: lang.MemRef{Base: 0, Size: 1}},
+				{Kind: lang.IGoto, E: lang.RegE(0), Target: 0},
+			},
+		}},
+	}
+	if p.LoC() != 2 {
+		t.Errorf("LoC = %d, want 2", p.LoC())
+	}
+	if s := p.String(); !strings.Contains(s, "thread t:") || !strings.Contains(s, "goto 0") {
+		t.Errorf("listing looks wrong:\n%s", s)
+	}
+	if got := p.FmtLabel(lang.RMWLab(0, 1, 2)); got != "RMW(x,1,2)" {
+		t.Errorf("FmtLabel = %q", got)
+	}
+	if _, ok := p.LocByName("x"); !ok {
+		t.Errorf("LocByName(x) not found")
+	}
+	if _, ok := p.LocByName("zz"); ok {
+		t.Errorf("LocByName(zz) unexpectedly found")
+	}
+}

@@ -1,0 +1,162 @@
+package litmus
+
+// Extension corpus: algorithms beyond the paper's Figure 7, with verdicts
+// produced by this reproduction and cross-validated against the
+// operational RA machine (state robustness) — new data points in the
+// spirit of §9's "alongside other existing methods". Notable findings:
+//
+//   - test-and-test-and-set locks are execution-graph robust even with a
+//     plain-read spin loop: the stale values a spinner could observe are
+//     never hbSC-connected to the lock's current owner in a way that
+//     satisfies Theorem 5.1's awareness condition;
+//   - double-checked locking with a release/acquire flag is robust (and
+//     hence simply correct); making the flag non-atomic is flagged as a
+//     data race (the §6 check) — the classic DCL bug;
+//   - a bounded Treiber stack (release/acquire CAS on the top pointer,
+//     per-node next links) is execution-graph robust.
+
+func init() {
+	register(Entry{
+		Name: "ttas-spin", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program ttas-spin
+vals 3
+locs lock cs
+thread t1
+SPIN:
+  r := lock
+  if r != 0 goto SPIN
+  c := CAS(lock, 0, 1)
+  if c != 0 goto SPIN
+  cs := 1
+  rc := cs
+  assert rc = 1
+  cs := 0
+  lock := 0
+end
+thread t2
+SPIN:
+  r := lock
+  if r != 0 goto SPIN
+  c := CAS(lock, 0, 1)
+  if c != 0 goto SPIN
+  cs := 2
+  rc := cs
+  assert rc = 2
+  cs := 0
+  lock := 0
+end
+`})
+
+	register(Entry{
+		Name: "ttas-wait", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program ttas-wait
+vals 3
+locs lock cs
+thread t1
+SPIN:
+  wait(lock = 0)
+  c := CAS(lock, 0, 1)
+  if c != 0 goto SPIN
+  cs := 1
+  rc := cs
+  assert rc = 1
+  cs := 0
+  lock := 0
+end
+thread t2
+SPIN:
+  wait(lock = 0)
+  c := CAS(lock, 0, 1)
+  if c != 0 goto SPIN
+  cs := 2
+  rc := cs
+  assert rc = 2
+  cs := 0
+  lock := 0
+end
+`})
+
+	// Double-checked locking: fast-path acquire load of the flag, slow
+	// path under a blocking-CAS lock, release store of the flag after the
+	// (non-atomic would be racy — here release/acquire) data write.
+	register(Entry{
+		Name: "dcl", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: dclSrc("dcl", false),
+	})
+
+	// The classic DCL bug: the flag (and data) accessed non-atomically.
+	// Rejected by the §6 racy-state check (note RobustTSO records *state*
+	// robustness, which races do not disturb here).
+	register(Entry{
+		Name: "dcl-na-broken", RobustRA: false, RobustTSO: true, Threads: 2,
+		Source: dclSrc("dcl-na-broken", true),
+	})
+
+	// Treiber's lock-free stack, bounded: two pushers (nodes 1 and 2) and
+	// one popper racing on the top pointer with CAS; next links per node.
+	register(Entry{
+		Name: "treiber-stack", RobustRA: true, RobustTSO: true, Threads: 3,
+		Source: `
+program treiber-stack
+vals 4
+locs top
+array next 3
+thread pusher1
+PUSH:
+  t := top
+  next[1] := t
+  c := CAS(top, t, 1)
+  if c != t goto PUSH
+end
+thread pusher2
+PUSH:
+  t := top
+  next[2] := t
+  c := CAS(top, t, 2)
+  if c != t goto PUSH
+end
+thread popper
+POP:
+  t := top
+  if t = 0 goto DONE
+  n := next[t]
+  c := CAS(top, t, n)
+  if c != t goto POP
+  assert t != 0
+DONE:
+end
+`})
+}
+
+func dclSrc(name string, naFlag bool) string {
+	decls := "locs flag lock\nna data\n"
+	use := `USE:
+  wait(flag = 1)
+  v := data
+  assert v = 2
+end
+`
+	if naFlag {
+		decls = "locs lock\nna flag data\n"
+		// A non-atomic flag cannot be waited on; the broken variant just
+		// skips the use phase (the race is already detected at the
+		// flag/data accesses).
+		use = "USE:\nend\n"
+	}
+	th := func(tn string) string {
+		return "thread " + tn + `
+  r := flag
+  if r = 1 goto USE
+  BCAS(lock, 0, 1)
+  r2 := flag
+  if r2 = 1 goto REL
+  data := 2
+  flag := 1
+REL:
+  lock := 0
+` + use
+	}
+	return "program " + name + "\nvals 3\n" + decls + th("t1") + th("t2")
+}

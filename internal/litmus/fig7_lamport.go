@@ -1,0 +1,135 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure 7 corpus, part 2: Lamport's fast mutual exclusion algorithm
+// (algorithm 2 of "A Fast Mutual Exclusion Algorithm", 1987), in the
+// paper's four variants. The algorithm, for thread i (identifiers 1..N,
+// 0 = none):
+//
+//	start: b[i] := 1
+//	       x := i
+//	       if y ≠ 0 { b[i] := 0; await y = 0; goto start }
+//	       y := i
+//	       if x ≠ i {
+//	           b[i] := 0
+//	           for all j: await b[j] = 0
+//	           if y ≠ i { await y = 0; goto start }
+//	       }
+//	       critical section
+//	       y := 0
+//	       b[i] := 0
+//
+// Variants:
+//
+//   - lamport2-sc: the SC original. The awaits are busy loops of plain
+//     reads; no fences. Not robust (the x-write/y-read pair alone is a
+//     store-buffering shape).
+//   - lamport2-tso: adds a store-load fence after x := i (the
+//     announcement/check pair). Not robust against RA (the paper's Res
+//     column), and — a documented deviation from the paper's Trencher
+//     column, see EXPERIMENTS.md — not state-robust against TSO either:
+//     in our reconstruction the y := i / x re-read pair also needs a
+//     fence on TSO, and the two-fence placement is already robust
+//     against RA, so no fence set reproduces the paper's ✗(RA)/✓(TSO)
+//     pair for this row. The original .rkr source is not available to
+//     recover the exact encoding difference.
+//   - lamport2-ra: the RA strengthening. The awaits become blocking wait
+//     instructions (masking exactly the benign stalls, §2.3), and every
+//     announcement and hand-over write is fenced.
+//   - lamport2-3-ra: the same with three competing threads.
+func lamportThread(i, n int, tsoFences, raFences, blockingWait bool) string {
+	var b strings.Builder
+	fence := func(on bool) {
+		if on {
+			b.WriteString("  fence\n")
+		}
+	}
+	await := func(loc string, val int, tag string) {
+		if blockingWait {
+			fmt.Fprintf(&b, "  wait(%s = %d)\n", loc, val)
+		} else {
+			fmt.Fprintf(&b, "%s:\n", tag)
+			fmt.Fprintf(&b, "  rw := %s\n", loc)
+			fmt.Fprintf(&b, "  if rw != %d goto %s\n", val, tag)
+		}
+	}
+	fmt.Fprintf(&b, "thread p%d\n", i)
+	fmt.Fprintf(&b, "START:\n")
+	fmt.Fprintf(&b, "  b%d := 1\n", i)
+	fence(raFences)
+	fmt.Fprintf(&b, "  x := %d\n", i)
+	fence(tsoFences || raFences)
+	fmt.Fprintf(&b, "  r1 := y\n")
+	fmt.Fprintf(&b, "  if r1 = 0 goto SETY\n")
+	fmt.Fprintf(&b, "  b%d := 0\n", i)
+	fence(raFences)
+	await("y", 0, "AW1")
+	fmt.Fprintf(&b, "  goto START\n")
+	fmt.Fprintf(&b, "SETY:\n")
+	fmt.Fprintf(&b, "  y := %d\n", i)
+	fence(raFences)
+	fmt.Fprintf(&b, "  r2 := x\n")
+	fmt.Fprintf(&b, "  if r2 = %d goto CRIT\n", i)
+	fmt.Fprintf(&b, "  b%d := 0\n", i)
+	fence(raFences)
+	for j := 1; j <= n; j++ {
+		if j != i {
+			await(fmt.Sprintf("b%d", j), 0, fmt.Sprintf("AWB%d", j))
+		}
+	}
+	fmt.Fprintf(&b, "  r3 := y\n")
+	fmt.Fprintf(&b, "  if r3 = %d goto CRIT\n", i)
+	await("y", 0, "AW2")
+	fmt.Fprintf(&b, "  goto START\n")
+	fmt.Fprintf(&b, "CRIT:\n")
+	fmt.Fprintf(&b, "  cs := %d\n", i)
+	fmt.Fprintf(&b, "  rc := cs\n")
+	fmt.Fprintf(&b, "  assert rc = %d\n", i)
+	fmt.Fprintf(&b, "  cs := 0\n")
+	fmt.Fprintf(&b, "  y := 0\n")
+	fence(raFences)
+	fmt.Fprintf(&b, "  b%d := 0\n", i)
+	fence(raFences)
+	fmt.Fprintf(&b, "end\n")
+	return b.String()
+}
+
+func lamportSrc(name string, n int, tsoFences, raFences, blockingWait bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\nvals %d\n", name, n+1)
+	b.WriteString("locs x y cs")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, " b%d", i)
+	}
+	b.WriteString("\n")
+	for i := 1; i <= n; i++ {
+		b.WriteString(lamportThread(i, n, tsoFences, raFences, blockingWait))
+	}
+	return b.String()
+}
+
+func init() {
+	register(Entry{
+		Name: "lamport2-sc", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: lamportSrc("lamport2-sc", 2, false, false, false),
+	})
+	register(Entry{
+		Name: "lamport2-tso", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: lamportSrc("lamport2-tso", 2, true, false, false),
+	})
+	register(Entry{
+		Name: "lamport2-ra", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: lamportSrc("lamport2-ra", 2, false, true, true),
+	})
+	// lamport2-3-ra — the RA-strengthened algorithm with three competing
+	// threads (Trencher reports ✗⋆ because its language lacks the
+	// blocking awaits).
+	register(Entry{
+		Name: "lamport2-3-ra", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 3, Big: true,
+		Source: lamportSrc("lamport2-3-ra", 3, false, true, true),
+	})
+}

@@ -1,0 +1,227 @@
+package litmus
+
+// Figure 7 corpus, part 1: barrier and the mutual-exclusion algorithms
+// (Dekker, Peterson, Lamport's fast mutex #2). Each algorithm appears in
+// the variants of the paper's evaluation: "-sc" is the original algorithm
+// as designed for sequential consistency; "-tso" strengthens it with the
+// fences needed for robustness against TSO; "-ra" (where present) is the
+// further strengthening needed for robustness against RA; the
+// "peterson-ra-dmitriy"/"peterson-ra-bratosz" variants instead strengthen
+// selected writes into RMWs (XCHG), following Williams' discussion [57] —
+// Dmitriy V'jukov's choice (the turn write) is correct, the alternative
+// (the flag writes) is not.
+//
+// Critical sections are modelled as in typical robustness corpora: the
+// entrant writes its identity to a shared location, re-reads it, and
+// asserts it was not overwritten — a standard SC mutual-exclusion check
+// that the verifier discharges alongside robustness (§7).
+
+func init() {
+	// barrier — the BAR program of §2.3 (blocking variant), extended with
+	// the data handoff the barrier is for. Robust thanks to the blocking
+	// wait; Trencher reports ✗⋆ only because its language lacks wait.
+	register(Entry{
+		Name: "barrier", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: `
+program barrier
+vals 2
+locs x y d1 d2
+thread t1
+  d1 := 1
+  x := 1
+  wait(y = 1)
+  r := d2
+  assert r = 1
+end
+thread t2
+  d2 := 1
+  y := 1
+  wait(x = 1)
+  r := d1
+  assert r = 1
+end
+`})
+
+	// dekker-sc — Dekker's algorithm as designed for SC. The initial
+	// flag-write / flag-read pattern is a store-buffering shape: both
+	// threads can read the other's flag as 0 under RA (and TSO) and enter
+	// the critical section together. Not robust.
+	register(Entry{
+		Name: "dekker-sc", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: `
+program dekker-sc
+vals 3
+locs flag0 flag1 turn cs
+thread p0
+  flag0 := 1
+LOOP:
+  r := flag1
+  if r = 0 goto CRIT
+  r2 := turn
+  if r2 = 0 goto LOOP
+  flag0 := 0
+WT:
+  r3 := turn
+  if r3 != 0 goto WT
+  flag0 := 1
+  goto LOOP
+CRIT:
+  cs := 1
+  rc := cs
+  assert rc = 1
+  cs := 0
+  turn := 1
+  flag0 := 0
+end
+thread p1
+  flag1 := 1
+LOOP:
+  r := flag0
+  if r = 0 goto CRIT
+  r2 := turn
+  if r2 = 1 goto LOOP
+  flag1 := 0
+WT:
+  r3 := turn
+  if r3 != 1 goto WT
+  flag1 := 1
+  goto LOOP
+CRIT:
+  cs := 2
+  rc := cs
+  assert rc = 2
+  cs := 0
+  turn := 0
+  flag1 := 0
+end
+`})
+
+	// dekker-tso — Dekker with the SC fences that make it robust against
+	// TSO (a store-load fence after each flag raise), with the benign
+	// busy-waits expressed with the blocking wait. This version is robust
+	// against RA as well (Figure 7).
+	register(Entry{
+		Name: "dekker-tso", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: `
+program dekker-tso
+vals 3
+locs flag0 flag1 turn cs
+thread p0
+  flag0 := 1
+  fence
+LOOP:
+  r := flag1
+  if r = 0 goto CRIT
+  r2 := turn
+  if r2 = 0 goto LOOP
+  flag0 := 0
+  wait(turn = 0)
+  flag0 := 1
+  fence
+  goto LOOP
+CRIT:
+  cs := 1
+  rc := cs
+  assert rc = 1
+  cs := 0
+  turn := 1
+  flag0 := 0
+end
+thread p1
+  flag1 := 1
+  fence
+LOOP:
+  r := flag0
+  if r = 0 goto CRIT
+  r2 := turn
+  if r2 = 1 goto LOOP
+  flag1 := 0
+  wait(turn = 1)
+  flag1 := 1
+  fence
+  goto LOOP
+CRIT:
+  cs := 2
+  rc := cs
+  assert rc = 2
+  cs := 0
+  turn := 0
+  flag1 := 0
+end
+`})
+
+	// peterson-sc — Peterson's algorithm as designed for SC. Not robust
+	// (store-buffering on flag/turn), and not even correct under RA.
+	register(Entry{
+		Name: "peterson-sc", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: petersonSrc("peterson-sc", "", "", false, false),
+	})
+
+	// peterson-tso — one fence per thread (after the turn write) makes
+	// Peterson robust against TSO, but not against RA (Figure 7: Rocker ✗,
+	// Trencher ✓).
+	register(Entry{
+		Name: "peterson-tso", RobustRA: false, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: petersonSrc("peterson-tso", "", "  fence\n", false, false),
+	})
+
+	// peterson-ra — the fence placement that achieves robustness against
+	// RA: a fence after the flag raise and one after the turn write, in
+	// both threads.
+	register(Entry{
+		Name: "peterson-ra", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: petersonSrc("peterson-ra", "  fence\n", "  fence\n", false, false),
+	})
+
+	// peterson-ra-dmitriy — V'jukov's repair [57]: strengthen the turn
+	// write into an RMW (exchange). Robust.
+	register(Entry{
+		Name: "peterson-ra-dmitriy", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: petersonSrc("peterson-ra-dmitriy", "", "", true, false),
+	})
+
+	// peterson-ra-bratosz — the wrong choice of writes to strengthen (the
+	// flag writes instead of the turn write). Not robust; Rocker
+	// correctly rejects it (§7).
+	register(Entry{
+		Name: "peterson-ra-bratosz", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: petersonSrc("peterson-ra-bratosz", "", "", false, true),
+	})
+}
+
+// petersonSrc builds a Peterson variant. flagFence/turnFence are inserted
+// after the flag and turn writes; xchgTurn strengthens the turn write into
+// an XCHG; xchgFlag strengthens the flag raise instead.
+func petersonSrc(name, flagFence, turnFence string, xchgTurn, xchgFlag bool) string {
+	flagW := func(me string) string {
+		if xchgFlag {
+			return "  rx := XCHG(flag" + me + ", 1)\n"
+		}
+		return "  flag" + me + " := 1\n"
+	}
+	turnW := func(other string) string {
+		if xchgTurn {
+			return "  rt := XCHG(turn, " + other + ")\n"
+		}
+		return "  turn := " + other + "\n"
+	}
+	body := func(me, other, csv string) string {
+		return "thread p" + me + "\n" +
+			flagW(me) + flagFence +
+			turnW(other) + turnFence +
+			"LOOP:\n" +
+			"  r1 := flag" + other + "\n" +
+			"  if r1 = 0 goto CRIT\n" +
+			"  r2 := turn\n" +
+			"  if r2 = " + other + " goto LOOP\n" +
+			"CRIT:\n" +
+			"  cs := " + csv + "\n" +
+			"  rc := cs\n" +
+			"  assert rc = " + csv + "\n" +
+			"  cs := 0\n" +
+			"  flag" + me + " := 0\n" +
+			"end\n"
+	}
+	return "program " + name + "\nvals 3\nlocs flag0 flag1 turn cs\n" +
+		body("0", "1", "1") + body("1", "0", "2")
+}

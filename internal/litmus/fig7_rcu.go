@@ -1,0 +1,128 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure 7 corpus, part 4: user-level read-copy-update (Desnoyers et al.,
+// "User-Level Implementations of Read-Copy Update", 2012).
+//
+// rcu — quiescent-state-based URCU with one updater and three readers.
+// The updater prepares a new data version in a fresh slot, publishes it by
+// switching the pointer, starts a grace period by flipping the global
+// phase counter, waits (blocking) until every reader has announced the new
+// phase, and only then reclaims (poisons) the old slot. Readers
+// dereference the pointer inside read-side sections and report quiescent
+// states between sections by copying the global phase into their
+// per-thread counter — writing it only when it changed, so the counter
+// carries each value at most once (the announcement is a fresh message the
+// grace period can synchronize on).
+//
+// The protocol is robust against RA with no fences at all: every
+// cross-thread obligation is a message-passing handshake (the reader's
+// phase announcement is po-after its read of the flipped phase, which is
+// po-after the pointer switch). The blocking waits mask exactly the benign
+// grace-period stalls, which is why Trencher (no blocking instructions)
+// reports ✗⋆ on this family.
+//
+// rcu-offline — the extended variant the paper highlights: the writer is
+// not a unique thread (any thread may win the update race via CAS), and
+// threads go offline (announce 0), stop communicating with the writer, and
+// come back online later. Re-going online must synchronize with a
+// concurrent grace period, which a plain announce-then-read cannot do
+// under RA (it is a store-buffering shape); the online announcement is
+// therefore paired with an SC fence on both sides, as in the user-level
+// RCU implementations' rcu_thread_online (smp_mb).
+
+func rcuReader(i int) string {
+	var b strings.Builder
+	w := func(s string, a ...any) { fmt.Fprintf(&b, s+"\n", a...) }
+	w("thread rd%d", i)
+	w("  phase := 0")
+	w("  it := 0")
+	w("LOOP:")
+	// Read-side critical section.
+	w("  r := g")
+	w("  v := slot[r]")
+	w("  assert v != 3")
+	// Quiescent state: announce the current phase if it changed.
+	w("  rq := gp")
+	w("  if rq = phase goto NEXT")
+	w("  c%d := rq", i)
+	w("  phase := rq")
+	w("NEXT:")
+	w("  it := it + 1")
+	w("  if it < 2 goto LOOP")
+	w("end")
+	return b.String()
+}
+
+func init() {
+	var b strings.Builder
+	b.WriteString("program rcu\nvals 4\nlocs g gp c1 c2 c3\narray slot 2\n")
+	b.WriteString(`thread upd
+  slot[1] := 1
+  g := 1
+  gp := 1
+  wait(c1 = 1)
+  wait(c2 = 1)
+  wait(c3 = 1)
+  slot[0] := 3
+end
+`)
+	for i := 1; i <= 3; i++ {
+		b.WriteString(rcuReader(i))
+	}
+	register(Entry{
+		Name: "rcu", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 4,
+		Source: b.String(),
+	})
+
+	// rcu-offline: three symmetric threads. Each runs a read-side
+	// section (going online with a fenced announcement), goes offline,
+	// races to become the updater via CAS, and — winner or not — runs a
+	// second read-side section before going offline for good. The
+	// updater's grace period waits for the other threads to be offline.
+	var o strings.Builder
+	o.WriteString("program rcu-offline\nvals 4\nlocs g wl c1 c2 c3\narray slot 2\n")
+	for i := 1; i <= 3; i++ {
+		j := i%3 + 1
+		k := j%3 + 1
+		w := func(s string, a ...any) { fmt.Fprintf(&o, s+"\n", a...) }
+		w("thread t%d", i)
+		// First read-side section: online announce + fence (SB shape
+		// against the updater's publish/poll pair needs a full fence on
+		// both sides).
+		w("  c%d := 1", i)
+		w("  fence")
+		w("  r := g")
+		w("  v := slot[r]")
+		w("  assert v != 3")
+		w("  c%d := 0", i)
+		// Try to become the updater.
+		w("  won := CAS(wl, 0, 1)")
+		w("  if won != 0 goto READER2")
+		w("  slot[1] := 1")
+		w("  g := 1")
+		w("  fence")
+		w("  wait(c%d = 0)", j)
+		w("  wait(c%d = 0)", k)
+		w("  slot[0] := 3")
+		w("  goto DONE")
+		w("READER2:")
+		// Come back online for a second section.
+		w("  c%d := 1", i)
+		w("  fence")
+		w("  r2 := g")
+		w("  v2 := slot[r2]")
+		w("  assert v2 != 3")
+		w("  c%d := 0", i)
+		w("DONE:")
+		w("end")
+	}
+	register(Entry{
+		Name: "rcu-offline", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 3,
+		Source: o.String(),
+	})
+}

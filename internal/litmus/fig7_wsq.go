@@ -1,0 +1,164 @@
+package litmus
+
+import "fmt"
+
+// Figure 7 corpus, part 5: work-stealing deques.
+//
+// cilk-the-wsq — the Cilk-5 THE protocol (Frigo, Leiserson, Randall 1998):
+// the worker pops from the tail by optimistically decrementing T and then
+// checking H; the thief steals from the head under a lock by incrementing
+// H and then checking T. Both sides back off (restoring their counter and,
+// for the worker, retrying under the thief lock) when the counters cross.
+// The T-decrement/H-read and H-increment/T-read pairs are store-load
+// shapes: the original protocol relies on a memory fence in both (the
+// famous THE fence), so the unfenced "-sc" version is not robust, and the
+// fenced "-tso" version is robust against TSO and — per Figure 7 — against
+// RA as well.
+//
+// chase-lev — the Chase–Lev deque (SPAA 2005), owner plus two thieves.
+// The owner's take decrements bottom and then reads top; thieves read top,
+// then bottom, then race on a CAS of top. The "-sc" version (no fences) is
+// not robust; "-tso" adds the owner's store-load fence (enough for TSO but
+// not for RA, where the unordered steal-side top/bottom reads still admit
+// non-SC behaviour); "-ra" also fences the steal path and the owner's
+// push, following Lê et al.'s C11 Chase-Lev (PPoPP 2013), whose top reads
+// are seq_cst.
+
+func cilkSrc(name string, fenced bool) string {
+	fence := ""
+	if fenced {
+		fence = "  fence\n"
+	}
+	return "program " + name + `
+vals 6
+locs H T lk
+array q 3
+thread worker
+  # push task 1 and task 2
+  q[0] := 1
+  T := 1
+  q[1] := 2
+  T := 2
+  it := 0
+POP:
+  rt := T
+  rt := rt - 1
+  T := rt
+` + fence + `  rh := H
+  if rh > rt goto CONFLICT
+  v := q[rt]
+  assert v = rt + 1
+  goto NEXT
+CONFLICT:
+  T := rt + 1
+  BCAS(lk, 0, 1)
+  rh := H
+  rt2 := T
+  if rh >= rt2 goto EMPTYU
+  rt2 := rt2 - 1
+  T := rt2
+  v := q[rt2]
+  assert v = rt2 + 1
+EMPTYU:
+  lk := 0
+NEXT:
+  it := it + 1
+  if it < 2 goto POP
+end
+thread thief
+  BCAS(lk, 0, 1)
+  rh := H
+  H := rh + 1
+` + fence + `  rt := T
+  if rh >= rt goto FAIL
+  v := q[rh]
+  assert v = rh + 1
+  goto OUT
+FAIL:
+  H := rh
+OUT:
+  lk := 0
+end
+`
+}
+
+// chaseLevSrc builds the Chase-Lev program. ownerFence fences the owner's
+// take (between the bottom decrement and the top read); stealFence fences
+// the thief's steal (between the top read and the bottom read) and the
+// owner's push (publication order of top reads), per the seq_cst accesses
+// of the C11 version.
+func chaseLevSrc(name string, ownerFence, stealFence bool) string {
+	of, sf := "", ""
+	if ownerFence {
+		of = "  fence\n"
+	}
+	if stealFence {
+		sf = "  fence\n"
+	}
+	owner := `thread owner
+  # push 2 tasks
+  q[0] := 1
+  bot := 1
+  q[1] := 2
+  bot := 2
+  it := 0
+TAKE:
+  rb := bot
+  rb := rb - 1
+  bot := rb
+` + of + `  rt := top
+  if rt > rb goto EMPTY
+  if rt = rb goto LAST
+  v := q[rb]
+  assert v = rb + 1
+  goto NEXT
+LAST:
+  c := CAS(top, rt, rt + 1)
+  bot := rb + 1
+  if c != rt goto NEXT
+  v := q[rb]
+  assert v = rb + 1
+  goto NEXT
+EMPTY:
+  bot := rb + 1
+NEXT:
+  it := it + 1
+  if it < 2 goto TAKE
+end
+`
+	thief := `thread %s
+  rt := top
+` + sf + `  rb := bot
+  if rt >= rb goto FAIL
+  v := q[rt]
+  assert v = rt + 1
+  c := CAS(top, rt, rt + 1)
+FAIL:
+end
+`
+	return "program " + name + "\nvals 6\nlocs top bot\narray q 3\n" +
+		owner + fmt.Sprintf(thief, "thief1") + fmt.Sprintf(thief, "thief2")
+}
+
+func init() {
+	register(Entry{
+		Name: "cilk-the-wsq-sc", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 2,
+		Source: cilkSrc("cilk-the-wsq-sc", false),
+	})
+	register(Entry{
+		Name: "cilk-the-wsq-tso", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 2,
+		Source: cilkSrc("cilk-the-wsq-tso", true),
+	})
+	register(Entry{
+		Name: "chase-lev-sc", RobustRA: false, RobustTSO: false, Fig7: true, Threads: 3,
+		Source: chaseLevSrc("chase-lev-sc", false, false),
+	})
+	register(Entry{
+		Name: "chase-lev-tso", RobustRA: false, RobustTSO: true, Fig7: true, Threads: 3,
+		Source: chaseLevSrc("chase-lev-tso", true, false),
+	})
+	register(Entry{
+		Name: "chase-lev-ra", RobustRA: true, RobustTSO: true, Fig7: true, Threads: 3,
+		Source: chaseLevSrc("chase-lev-ra", true, true),
+	})
+}

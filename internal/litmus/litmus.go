@@ -1,0 +1,301 @@
+// Package litmus embeds the program corpus of the paper: the litmus tests
+// of §2–§3 (SB, MP, IRIW, 2+2W, 2RMW, SB+RMWs and the two barrier
+// variants) and the 25 concurrent algorithms of the Figure 7 evaluation.
+// Each program records its expected verdicts — execution-graph robustness
+// against RA (the paper's "Res" column) and state robustness against TSO
+// (the "Trencher" column, adjusted for blocking instructions as discussed
+// in DESIGN.md).
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+// Entry is one corpus program.
+type Entry struct {
+	// Name identifies the program (matching the paper's Figure 7 row
+	// names where applicable).
+	Name string
+	// Source is the .lit program text.
+	Source string
+	// RobustRA is the expected execution-graph-robustness verdict against
+	// RA (Figure 7 "Res", or the verdict stated in §3 for litmus tests).
+	RobustRA bool
+	// RobustTSO is the expected state-robustness verdict against TSO.
+	// For the four programs Trencher flags only because it lacks blocking
+	// instructions (✗⋆ in Figure 7), this records the semantic verdict
+	// (robust), as the paper argues.
+	RobustTSO bool
+	// Fig7 marks programs that appear in the paper's Figure 7 table.
+	Fig7 bool
+	// Threads is the paper-reported thread count (Figure 7 "#T"), for
+	// cross-checking the corpus shape.
+	Threads int
+	// Big marks programs whose instrumented state space runs into the
+	// millions; verifiers and tests should use hash-compact storage for
+	// them and may skip them in short test runs.
+	Big bool
+}
+
+var corpus []Entry
+
+func register(e Entry) {
+	corpus = append(corpus, e)
+}
+
+// All returns the corpus entries, litmus tests first, then Figure 7
+// programs in the paper's table order.
+func All() []Entry { return append([]Entry(nil), corpus...) }
+
+// fig7Order is the paper's Figure 7 row order.
+var fig7Order = []string{
+	"barrier",
+	"dekker-sc", "dekker-tso",
+	"peterson-sc", "peterson-tso", "peterson-ra",
+	"peterson-ra-dmitriy", "peterson-ra-bratosz",
+	"lamport2-sc", "lamport2-tso", "lamport2-ra", "lamport2-3-ra",
+	"spinlock", "spinlock4",
+	"ticketlock", "ticketlock4",
+	"seqlock", "nbw-w-lr-rl",
+	"rcu", "rcu-offline",
+	"cilk-the-wsq-sc", "cilk-the-wsq-tso",
+	"chase-lev-sc", "chase-lev-tso", "chase-lev-ra",
+}
+
+// Fig7 returns the Figure 7 entries in the paper's table order.
+func Fig7() []Entry {
+	var out []Entry
+	for _, name := range fig7Order {
+		e, err := Get(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Get returns the named entry.
+func Get(name string) (Entry, error) {
+	for _, e := range corpus {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range corpus {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Entry{}, fmt.Errorf("litmus: no program %q (have %v)", name, names)
+}
+
+// Program parses the entry's source.
+func (e Entry) Program() *lang.Program {
+	return parser.MustParse(e.Source)
+}
+
+func init() {
+	// --- §3 litmus tests -------------------------------------------------
+
+	// Example 3.1 (SB, store buffering): the canonical weak behaviour of
+	// RA (and TSO): both threads read 0. Not robust.
+	register(Entry{
+		Name: "SB", RobustRA: false, RobustTSO: false, Threads: 2,
+		Source: `
+program SB
+vals 2
+locs x y
+thread t1
+  x := 1
+  a := y
+end
+thread t2
+  y := 1
+  b := x
+end
+`})
+
+	// Example 3.2 (MP, message passing): RA supports flag-based
+	// synchronization; robust.
+	register(Entry{
+		Name: "MP", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program MP
+vals 2
+locs x y
+thread t1
+  x := 1
+  y := 1
+end
+thread t2
+  a := y
+  b := x
+end
+`})
+
+	// Example 3.3 (IRIW): RA is non-multi-copy-atomic; not robust against
+	// RA but robust against TSO.
+	register(Entry{
+		Name: "IRIW", RobustRA: false, RobustTSO: true, Threads: 4,
+		Source: `
+program IRIW
+vals 2
+locs x y
+thread w1
+  x := 1
+end
+thread r1
+  a := x
+  b := y
+end
+thread r2
+  c := y
+  d := x
+end
+thread w2
+  y := 1
+end
+`})
+
+	// Example 3.4 (2+2W): RA writes need not pick globally maximal
+	// timestamps; not robust against RA, robust against TSO.
+	register(Entry{
+		Name: "2+2W", RobustRA: false, RobustTSO: true, Threads: 2,
+		Source: `
+program two-plus-two-w
+vals 3
+locs x y
+thread t1
+  x := 1
+  y := 2
+  a := y
+end
+thread t2
+  y := 1
+  x := 2
+  b := x
+end
+`})
+
+	// The write-only variant of 2+2W discussed in §4: "vacuously" state
+	// robust, but not execution-graph robust — the mo of the RA run
+	// diverges even though no program state distinguishes it.
+	register(Entry{
+		Name: "2+2W-nor", RobustRA: false, RobustTSO: true, Threads: 2,
+		Source: `
+program two-plus-two-w-nor
+vals 3
+locs x y
+thread t1
+  x := 1
+  y := 2
+end
+thread t2
+  y := 1
+  x := 2
+end
+`})
+
+	// The zero-value variant of SB discussed in §4 (both writes store the
+	// initial value 0): state robust but not execution-graph robust.
+	register(Entry{
+		Name: "SB-zero", RobustRA: false, RobustTSO: true, Threads: 2,
+		Source: `
+program sb-zero
+vals 2
+locs x y
+thread t1
+  x := 0
+  a := y
+end
+thread t2
+  y := 0
+  b := x
+end
+`})
+
+	// Example 3.5 (2RMW): two competing CASes can never both succeed;
+	// robust.
+	register(Entry{
+		Name: "2RMW", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program two-rmw
+vals 2
+locs x
+thread t1
+  a := CAS(x, 0, 1)
+end
+thread t2
+  b := CAS(x, 0, 1)
+end
+`})
+
+	// Example 3.6 (SB+RMWs): FADDs on a shared otherwise-unused location
+	// act as SC fences; robust.
+	register(Entry{
+		Name: "SB+RMWs", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program sb-rmws
+vals 2
+locs x y f
+thread t1
+  x := 1
+  r := FADD(f, 0)
+  a := y
+end
+thread t2
+  y := 1
+  r := FADD(f, 0)
+  b := x
+end
+`})
+
+	// A broken variant of SB+RMWs using two different fence locations: a
+	// single FADD per location has no fence effect under RA (end of
+	// Example 3.6). Not robust.
+	register(Entry{
+		Name: "SB+RMWs-split", RobustRA: false, RobustTSO: true, Threads: 2,
+		Source: `
+program sb-rmws-split
+vals 2
+locs x y f g
+thread t1
+  x := 1
+  r := FADD(f, 0)
+  a := y
+end
+thread t2
+  y := 1
+  r := FADD(g, 0)
+  b := x
+end
+`})
+
+	// The BAR example of §2.3, busy-loop version: reading a stale 0 keeps
+	// a thread spinning — a benign violation, but a (state and graph)
+	// robustness violation nonetheless.
+	register(Entry{
+		Name: "BAR-loop", RobustRA: false, RobustTSO: false, Threads: 2,
+		Source: `
+program bar-loop
+vals 2
+locs x y
+thread t1
+  x := 1
+L:
+  r1 := y
+  if r1 != 1 goto L
+end
+thread t2
+  y := 1
+L:
+  r2 := x
+  if r2 != 1 goto L
+end
+`})
+}

@@ -1,0 +1,69 @@
+package litmus_test
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+// TestCorpusWellFormed parses every corpus program, checks the recorded
+// thread counts against the paper's #T column, and checks name uniqueness.
+func TestCorpusWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range litmus.All() {
+		if seen[e.Name] {
+			t.Errorf("duplicate corpus name %q", e.Name)
+		}
+		seen[e.Name] = true
+		p, err := parser.Parse(e.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", e.Name, err)
+			continue
+		}
+		if e.Threads != 0 && p.NumThreads() != e.Threads {
+			t.Errorf("%s: %d threads, paper says %d", e.Name, p.NumThreads(), e.Threads)
+		}
+		if p.LoC() == 0 {
+			t.Errorf("%s: empty program", e.Name)
+		}
+	}
+}
+
+// TestFig7Complete checks the Figure 7 selection: exactly the paper's 25
+// rows, in the paper's order.
+func TestFig7Complete(t *testing.T) {
+	rows := litmus.Fig7()
+	if len(rows) != 25 {
+		t.Fatalf("Figure 7 has %d rows, want 25", len(rows))
+	}
+	if rows[0].Name != "barrier" || rows[24].Name != "chase-lev-ra" {
+		t.Errorf("row order: first %q, last %q", rows[0].Name, rows[24].Name)
+	}
+	for _, e := range rows {
+		if !e.Fig7 {
+			t.Errorf("%s selected by Fig7() but not flagged", e.Name)
+		}
+	}
+}
+
+// TestGetUnknown checks the error path lists the corpus.
+func TestGetUnknown(t *testing.T) {
+	_, err := litmus.Get("no-such-program")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+// TestGenerators smoke-tests the parameterized sources.
+func TestGenerators(t *testing.T) {
+	for _, src := range []string{
+		litmus.SpinlockSrc(3, 2),
+		litmus.TicketlockSrc(5, 1),
+		litmus.LamportSrc(2),
+	} {
+		if _, err := parser.Parse(src); err != nil {
+			t.Errorf("generator output does not parse: %v", err)
+		}
+	}
+}

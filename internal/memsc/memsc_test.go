@@ -1,0 +1,46 @@
+package memsc_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/memsc"
+)
+
+func TestStepSemantics(t *testing.T) {
+	m := memsc.New(2)
+	if !m.Step(lang.WriteLab(0, 3)) {
+		t.Fatal("write must always be enabled")
+	}
+	if m[0] != 3 || m[1] != 0 {
+		t.Fatalf("memory after write: %v", m)
+	}
+	if m.Step(lang.ReadLab(0, 1)) {
+		t.Error("read of a non-current value must be refused")
+	}
+	if !m.Step(lang.ReadLab(0, 3)) {
+		t.Error("read of the current value must be enabled")
+	}
+	if m.Step(lang.RMWLab(0, 1, 2)) {
+		t.Error("RMW with wrong read value must be refused")
+	}
+	if !m.Step(lang.RMWLab(0, 3, 2)) || m[0] != 2 {
+		t.Errorf("RMW should have updated the memory: %v", m)
+	}
+	if !m.Enabled(lang.WriteLab(1, 1)) || m.Enabled(lang.ReadLab(1, 1)) || !m.Enabled(lang.ReadLab(1, 0)) {
+		t.Error("Enabled disagrees with Step")
+	}
+}
+
+func TestCloneAndEncode(t *testing.T) {
+	m := memsc.New(3)
+	m.Step(lang.WriteLab(1, 2))
+	c := m.Clone()
+	c.Step(lang.WriteLab(1, 3))
+	if m[1] != 2 || c[1] != 3 {
+		t.Error("clone is not independent")
+	}
+	if string(m.Encode(nil)) == string(c.Encode(nil)) {
+		t.Error("different memories encode equally")
+	}
+}

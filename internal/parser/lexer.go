@@ -1,0 +1,199 @@
+// Package parser implements the concrete syntax for the toy concurrent
+// language of the paper (Figure 1), extended with labels, arrays, assert,
+// and a "fence" pseudo-instruction that desugars to an FADD on a
+// distinguished otherwise-unused location (the paper's SC-fence encoding,
+// Example 3.6).
+//
+// A program source looks like:
+//
+//	# Dekker's mutual exclusion, SC version
+//	program dekker-sc
+//	vals 3
+//	locs flag0 flag1 turn
+//	na data            # optional: non-atomic locations (§6)
+//	array buf 2        # optional: an array of 2 atomic locations
+//
+//	thread p0
+//	  flag0 := 1
+//	L:
+//	  r0 := flag1
+//	  if r0 = 0 goto CS
+//	  goto L
+//	CS:
+//	  flag0 := 0
+//	end
+//
+// Statements, one per line (labels may precede a statement on the same
+// line):
+//
+//	r := e                  register assignment (no memory access)
+//	x := e                  write to location x
+//	x[e1] := e2             write to array cell
+//	r := x      r := x[e]   read
+//	r := FADD(x, e)         atomic fetch-and-add
+//	r := CAS(x, eR, eW)     compare-and-swap
+//	wait(x = e)             blocking read (§2.1)
+//	BCAS(x, eR, eW)         blocking CAS (§2.1)
+//	if e goto L             conditional branch
+//	goto L                  unconditional branch
+//	assert e                SC assertion (checked by the verifier, §7)
+//	fence                   SC fence (desugars to r := FADD(__fence, 0))
+//	skip                    no-op (assigns a scratch register)
+//
+// Expressions use registers and literals with operators
+// + - * % = != < <= > >= && || and !, with the usual precedence;
+// parentheses group. Comparisons yield 1 (true) or 0 (false).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent
+	tNum
+	tAssign // :=
+	tColon  // :
+	tLParen
+	tRParen
+	tLBrack
+	tRBrack
+	tComma
+	tOp // one of the expression operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexErr reports a lexical error with its line.
+type lexErr struct {
+	line int
+	msg  string
+}
+
+func (e *lexErr) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// lex splits src into tokens. Newlines are significant (statements are
+// line-oriented); comments run from '#' or '//' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k tokKind, text string) { toks = append(toks, token{k, text, line}) }
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(tNewline, "\n")
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			emit(tIdent, src[i:j])
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			emit(tNum, src[i:j])
+			i = j
+		case c == ':':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tAssign, ":=")
+				i += 2
+			} else {
+				emit(tColon, ":")
+				i++
+			}
+		case c == '(':
+			emit(tLParen, "(")
+			i++
+		case c == ')':
+			emit(tRParen, ")")
+			i++
+		case c == '[':
+			emit(tLBrack, "[")
+			i++
+		case c == ']':
+			emit(tRBrack, "]")
+			i++
+		case c == ',':
+			emit(tComma, ",")
+			i++
+		case strings.ContainsRune("+-*%", rune(c)):
+			emit(tOp, string(c))
+			i++
+		case c == '=':
+			emit(tOp, "=")
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tOp, "!=")
+				i += 2
+			} else {
+				emit(tOp, "!")
+				i++
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tOp, "<=")
+				i += 2
+			} else {
+				emit(tOp, "<")
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tOp, ">=")
+				i += 2
+			} else {
+				emit(tOp, ">")
+				i++
+			}
+		case c == '&':
+			if i+1 < n && src[i+1] == '&' {
+				emit(tOp, "&&")
+				i += 2
+			} else {
+				return nil, &lexErr{line, "stray '&'"}
+			}
+		case c == '|':
+			if i+1 < n && src[i+1] == '|' {
+				emit(tOp, "||")
+				i += 2
+			} else {
+				return nil, &lexErr{line, "stray '|'"}
+			}
+		default:
+			return nil, &lexErr{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	emit(tNewline, "\n")
+	emit(tEOF, "")
+	return toks, nil
+}

@@ -1,0 +1,711 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// FenceLoc is the name of the distinguished location added when a program
+// uses the "fence" pseudo-instruction. Per Example 3.6 of the paper, an
+// SC fence is an FADD(f, 0) on a location f that is otherwise unused, and
+// all fences must target the same location.
+const FenceLoc = "__fence"
+
+// arrayInfo records a declared array.
+type arrayInfo struct {
+	base lang.Loc
+	size int
+	na   bool
+}
+
+// parser holds parsing state.
+type parser struct {
+	toks []token
+	pos  int
+
+	prog    *lang.Program
+	arrays  map[string]arrayInfo
+	locIdx  map[string]lang.Loc
+	valMax  int
+	hasProg bool
+
+	// per-thread state
+	regIdx   map[string]lang.Reg
+	regNames []string
+	labels   map[string]int
+	pending  []pendingJump // gotos to resolve at end of thread
+	insts    []lang.Inst
+
+	usedFence bool
+}
+
+type pendingJump struct {
+	inst  int
+	label string
+	line  int
+}
+
+// Parse parses a program source. The returned program has been validated.
+func Parse(src string) (*lang.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:   toks,
+		prog:   &lang.Program{ValCount: 4},
+		arrays: map[string]arrayInfo{},
+		locIdx: map[string]lang.Loc{},
+	}
+	if err := p.parseTop(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse that panics on error; intended for the embedded corpus
+// and tests.
+func MustParse(src string) *lang.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t.line, "expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) endOfLine() error {
+	t := p.next()
+	if t.kind != tNewline && t.kind != tEOF {
+		return p.errf(t.line, "unexpected %q at end of statement", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseTop() error {
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			return p.errf(t.line, "expected declaration, got %q", t.text)
+		}
+		switch t.text {
+		case "program":
+			p.pos++
+			name, err := p.expect(tIdent, "program name")
+			if err != nil {
+				return err
+			}
+			p.prog.Name = name.text
+			if err := p.endOfLine(); err != nil {
+				return err
+			}
+		case "vals":
+			p.pos++
+			num, err := p.expect(tNum, "value count")
+			if err != nil {
+				return err
+			}
+			n := atoi(num.text)
+			if n < 2 || n > 64 {
+				return p.errf(num.line, "vals must be in [2,64]")
+			}
+			p.prog.ValCount = n
+			if err := p.endOfLine(); err != nil {
+				return err
+			}
+		case "locs":
+			p.pos++
+			if err := p.parseLocList(false); err != nil {
+				return err
+			}
+		case "na":
+			p.pos++
+			if p.cur().kind == tIdent && p.cur().text == "array" {
+				p.pos++
+				if err := p.parseArray(true); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.parseLocList(true); err != nil {
+				return err
+			}
+		case "array":
+			p.pos++
+			if err := p.parseArray(false); err != nil {
+				return err
+			}
+		case "thread":
+			p.pos++
+			if err := p.parseThread(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t.line, "unknown declaration %q", t.text)
+		}
+	}
+	if p.usedFence {
+		if _, dup := p.locIdx[FenceLoc]; dup {
+			return fmt.Errorf("location name %s is reserved for fences", FenceLoc)
+		}
+		p.locIdx[FenceLoc] = lang.Loc(len(p.prog.Locs))
+		p.prog.Locs = append(p.prog.Locs, lang.LocInfo{Name: FenceLoc})
+		// Patch the placeholder fence references now that the location
+		// index is known.
+		fl := p.locIdx[FenceLoc]
+		for ti := range p.prog.Threads {
+			th := &p.prog.Threads[ti]
+			for ii := range th.Insts {
+				in := &th.Insts[ii]
+				if in.Kind == lang.IFADD && in.Mem.Size == fencePlaceholder {
+					in.Mem = lang.MemRef{Base: fl, Size: 1}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fencePlaceholder marks MemRefs of desugared fences before the fence
+// location index is allocated.
+const fencePlaceholder = -1
+
+func (p *parser) parseLocList(na bool) error {
+	count := 0
+	for p.cur().kind == tIdent {
+		t := p.next()
+		if err := p.declareLoc(t.text, t.line, na); err != nil {
+			return err
+		}
+		count++
+	}
+	if count == 0 {
+		return p.errf(p.cur().line, "expected location names")
+	}
+	return p.endOfLine()
+}
+
+func (p *parser) declareLoc(name string, line int, na bool) error {
+	if _, dup := p.locIdx[name]; dup {
+		return p.errf(line, "duplicate location %q", name)
+	}
+	if _, dup := p.arrays[name]; dup {
+		return p.errf(line, "location %q conflicts with array", name)
+	}
+	p.locIdx[name] = lang.Loc(len(p.prog.Locs))
+	p.prog.Locs = append(p.prog.Locs, lang.LocInfo{Name: name, NA: na})
+	return nil
+}
+
+func (p *parser) parseArray(na bool) error {
+	name, err := p.expect(tIdent, "array name")
+	if err != nil {
+		return err
+	}
+	num, err := p.expect(tNum, "array size")
+	if err != nil {
+		return err
+	}
+	size := atoi(num.text)
+	if size < 1 || size > 32 {
+		return p.errf(num.line, "array size must be in [1,32]")
+	}
+	if _, dup := p.arrays[name.text]; dup {
+		return p.errf(name.line, "duplicate array %q", name.text)
+	}
+	if _, dup := p.locIdx[name.text]; dup {
+		return p.errf(name.line, "array %q conflicts with location", name.text)
+	}
+	base := lang.Loc(len(p.prog.Locs))
+	for i := 0; i < size; i++ {
+		p.prog.Locs = append(p.prog.Locs, lang.LocInfo{Name: fmt.Sprintf("%s[%d]", name.text, i), NA: na})
+	}
+	p.arrays[name.text] = arrayInfo{base: base, size: size, na: na}
+	return p.endOfLine()
+}
+
+func (p *parser) parseThread() error {
+	name, err := p.expect(tIdent, "thread name")
+	if err != nil {
+		return err
+	}
+	if err := p.endOfLine(); err != nil {
+		return err
+	}
+	p.regIdx = map[string]lang.Reg{}
+	p.regNames = nil
+	p.labels = map[string]int{}
+	p.pending = nil
+	p.insts = nil
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tEOF {
+			return p.errf(t.line, "unterminated thread %q (missing 'end')", name.text)
+		}
+		if t.kind == tIdent && t.text == "end" {
+			p.pos++
+			if err := p.endOfLine(); err != nil {
+				return err
+			}
+			break
+		}
+		if err := p.parseStmt(); err != nil {
+			return err
+		}
+	}
+	// Resolve labels.
+	for _, pj := range p.pending {
+		target, ok := p.labels[pj.label]
+		if !ok {
+			return p.errf(pj.line, "undefined label %q", pj.label)
+		}
+		p.insts[pj.inst].Target = target
+	}
+	p.prog.Threads = append(p.prog.Threads, lang.SeqProg{
+		Name:     name.text,
+		Insts:    p.insts,
+		NumRegs:  len(p.regNames),
+		RegNames: p.regNames,
+	})
+	return nil
+}
+
+// reg returns the register index for name, allocating it if new.
+func (p *parser) reg(name string) lang.Reg {
+	if r, ok := p.regIdx[name]; ok {
+		return r
+	}
+	r := lang.Reg(len(p.regNames))
+	p.regIdx[name] = r
+	p.regNames = append(p.regNames, name)
+	return r
+}
+
+// isMemName reports whether name denotes a location or array.
+func (p *parser) isMemName(name string) bool {
+	if _, ok := p.locIdx[name]; ok {
+		return true
+	}
+	_, ok := p.arrays[name]
+	return ok
+}
+
+// parseMemRef parses a location or array-cell reference starting at the
+// given identifier token (already consumed).
+func (p *parser) parseMemRef(id token) (lang.MemRef, error) {
+	if ai, ok := p.arrays[id.text]; ok {
+		if _, err := p.expect(tLBrack, "'['"); err != nil {
+			return lang.MemRef{}, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return lang.MemRef{}, err
+		}
+		if _, err := p.expect(tRBrack, "']'"); err != nil {
+			return lang.MemRef{}, err
+		}
+		return lang.MemRef{Base: ai.base, Size: ai.size, Index: idx}, nil
+	}
+	if x, ok := p.locIdx[id.text]; ok {
+		return lang.MemRef{Base: x, Size: 1}, nil
+	}
+	return lang.MemRef{}, p.errf(id.line, "unknown location %q", id.text)
+}
+
+func (p *parser) emit(in lang.Inst, line int) {
+	in.Line = line
+	p.insts = append(p.insts, in)
+}
+
+func (p *parser) parseStmt() error {
+	t := p.next()
+	if t.kind != tIdent {
+		return p.errf(t.line, "expected statement, got %q", t.text)
+	}
+	// Label?
+	if p.cur().kind == tColon {
+		p.pos++
+		if _, dup := p.labels[t.text]; dup {
+			return p.errf(t.line, "duplicate label %q", t.text)
+		}
+		p.labels[t.text] = len(p.insts)
+		// A label may be followed by a statement on the same line, or
+		// stand alone.
+		if p.cur().kind == tNewline || p.cur().kind == tEOF {
+			p.pos++
+			return nil
+		}
+		return p.parseStmt()
+	}
+	switch t.text {
+	case "if":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		kw, err := p.expect(tIdent, "'goto'")
+		if err != nil || kw.text != "goto" {
+			return p.errf(kw.line, "expected 'goto' after if condition")
+		}
+		lbl, err := p.expect(tIdent, "label")
+		if err != nil {
+			return err
+		}
+		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl.line})
+		p.emit(lang.Inst{Kind: lang.IGoto, E: cond}, t.line)
+		return p.endOfLine()
+	case "goto":
+		lbl, err := p.expect(tIdent, "label")
+		if err != nil {
+			return err
+		}
+		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl.line})
+		p.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, t.line)
+		return p.endOfLine()
+	case "wait":
+		if _, err := p.expect(tLParen, "'('"); err != nil {
+			return err
+		}
+		id, err := p.expect(tIdent, "location")
+		if err != nil {
+			return err
+		}
+		mem, err := p.parseMemRef(id)
+		if err != nil {
+			return err
+		}
+		eq := p.next()
+		if eq.kind != tOp || eq.text != "=" {
+			return p.errf(eq.line, "expected '=' in wait")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return err
+		}
+		p.emit(lang.Inst{Kind: lang.IWait, Mem: mem, E: e}, t.line)
+		return p.endOfLine()
+	case "BCAS", "bcas":
+		mem, er, ew, err := p.parseCASArgs()
+		if err != nil {
+			return err
+		}
+		p.emit(lang.Inst{Kind: lang.IBCAS, Mem: mem, ER: er, EW: ew}, t.line)
+		return p.endOfLine()
+	case "assert":
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		p.emit(lang.Inst{Kind: lang.IAssert, E: e}, t.line)
+		return p.endOfLine()
+	case "fence":
+		p.usedFence = true
+		r := p.reg("__fr")
+		p.emit(lang.Inst{
+			Kind: lang.IFADD,
+			Reg:  r,
+			Mem:  lang.MemRef{Size: fencePlaceholder},
+			E:    lang.Const(0),
+		}, t.line)
+		return p.endOfLine()
+	case "skip":
+		r := p.reg("__skip")
+		p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(0)}, t.line)
+		return p.endOfLine()
+	}
+	// Assignment forms: "<ident> := ..." or "<array>[e] := ...".
+	if p.isMemName(t.text) {
+		mem, err := p.parseMemRef(t)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tAssign, "':='"); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		p.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: e}, t.line)
+		return p.endOfLine()
+	}
+	// Register target.
+	if _, err := p.expect(tAssign, "':='"); err != nil {
+		return err
+	}
+	r := p.reg(t.text)
+	rhs := p.cur()
+	if rhs.kind == tIdent {
+		switch rhs.text {
+		case "FADD", "fadd", "XCHG", "xchg":
+			kind := lang.IFADD
+			if rhs.text == "XCHG" || rhs.text == "xchg" {
+				kind = lang.IXCHG
+			}
+			p.pos++
+			if _, err := p.expect(tLParen, "'('"); err != nil {
+				return err
+			}
+			id, err := p.expect(tIdent, "location")
+			if err != nil {
+				return err
+			}
+			mem, err := p.parseMemRef(id)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tComma, "','"); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tRParen, "')'"); err != nil {
+				return err
+			}
+			p.emit(lang.Inst{Kind: kind, Reg: r, Mem: mem, E: e}, t.line)
+			return p.endOfLine()
+		case "CAS", "cas":
+			p.pos++
+			mem, er, ew, err := p.parseCASArgs()
+			if err != nil {
+				return err
+			}
+			p.emit(lang.Inst{Kind: lang.ICAS, Reg: r, Mem: mem, ER: er, EW: ew}, t.line)
+			return p.endOfLine()
+		}
+		if p.isMemName(rhs.text) {
+			p.pos++
+			mem, err := p.parseMemRef(rhs)
+			if err != nil {
+				return err
+			}
+			p.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, t.line)
+			return p.endOfLine()
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: e}, t.line)
+	return p.endOfLine()
+}
+
+// parseCASArgs parses "(x, eR, eW)".
+func (p *parser) parseCASArgs() (lang.MemRef, *lang.Expr, *lang.Expr, error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	id, err := p.expect(tIdent, "location")
+	if err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	mem, err := p.parseMemRef(id)
+	if err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	if _, err := p.expect(tComma, "','"); err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	er, err := p.parseExpr()
+	if err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	if _, err := p.expect(tComma, "','"); err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	ew, err := p.parseExpr()
+	if err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return lang.MemRef{}, nil, nil, err
+	}
+	return mem, er, ew, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	or:   and ("||" and)*
+//	and:  cmp ("&&" cmp)*
+//	cmp:  add (("=" | "!=" | "<" | "<=" | ">" | ">=") add)?
+//	add:  mul (("+" | "-") mul)*
+//	mul:  unary (("*" | "%") unary)*
+//	unary: "!" unary | primary
+//	primary: number | register | "(" or ")"
+func (p *parser) parseExpr() (*lang.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (*lang.Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && p.cur().text == "||" {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = lang.Bin(lang.OpOr, e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (*lang.Expr, error) {
+	e, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && p.cur().text == "&&" {
+		p.pos++
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		e = lang.Bin(lang.OpAnd, e, r)
+	}
+	return e, nil
+}
+
+var cmpOps = map[string]lang.BinOp{
+	"=": lang.OpEq, "!=": lang.OpNe,
+	"<": lang.OpLt, "<=": lang.OpLe, ">": lang.OpGt, ">=": lang.OpGe,
+}
+
+func (p *parser) parseCmp() (*lang.Expr, error) {
+	e, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return lang.Bin(op, e, r), nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdd() (*lang.Expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := lang.OpAdd
+		if p.cur().text == "-" {
+			op = lang.OpSub
+		}
+		p.pos++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		e = lang.Bin(op, e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseMul() (*lang.Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && (p.cur().text == "*" || p.cur().text == "%") {
+		op := lang.OpMul
+		if p.cur().text == "%" {
+			op = lang.OpMod
+		}
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = lang.Bin(op, e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (*lang.Expr, error) {
+	if p.cur().kind == tOp && p.cur().text == "!" {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Not(e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*lang.Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tNum:
+		return lang.Const(lang.Val(atoi(t.text))), nil
+	case tIdent:
+		if p.isMemName(t.text) {
+			return nil, p.errf(t.line, "location %q used in expression; load it into a register first", t.text)
+		}
+		return lang.RegE(p.reg(t.text)), nil
+	case tLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t.line, "expected expression, got %q", t.text)
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 1 << 20
+		}
+	}
+	return n
+}

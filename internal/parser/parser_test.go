@@ -1,0 +1,170 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+func TestParseBasics(t *testing.T) {
+	p, err := parser.Parse(`
+# a demo program
+program demo
+vals 5
+locs x y
+na d
+array buf 2
+
+thread t1
+  r := 1 + 2 * 3
+L:
+  x := r
+  r2 := y
+  if r2 = 0 goto L
+  r3 := FADD(x, 1)
+  r4 := CAS(x, 0, 1)
+  r5 := XCHG(y, 2)
+  wait(x = 2)
+  BCAS(y, 1, 0)
+  buf[r] := 3
+  r6 := buf[r2]
+  d := 1
+  r7 := d
+  assert r7 = 1
+  skip
+  goto L
+end
+
+thread t2
+  y := 1
+end
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Name != "demo" || p.ValCount != 5 {
+		t.Errorf("header parsed wrong: %s vals=%d", p.Name, p.ValCount)
+	}
+	// locs: x, y, d, buf[0], buf[1] = 5
+	if p.NumLocs() != 5 {
+		t.Errorf("NumLocs = %d, want 5", p.NumLocs())
+	}
+	if d, ok := p.LocByName("d"); !ok || !p.Locs[d].NA {
+		t.Errorf("d should be a non-atomic location")
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d", p.NumThreads())
+	}
+	t1 := p.Threads[0]
+	kinds := []lang.InstKind{
+		lang.IAssign, lang.IWrite, lang.IRead, lang.IGoto, lang.IFADD,
+		lang.ICAS, lang.IXCHG, lang.IWait, lang.IBCAS, lang.IWrite,
+		lang.IRead, lang.IWrite, lang.IRead, lang.IAssert, lang.IAssign, lang.IGoto,
+	}
+	if len(t1.Insts) != len(kinds) {
+		t.Fatalf("thread t1 has %d instructions, want %d:\n%s", len(t1.Insts), len(kinds), p)
+	}
+	for i, k := range kinds {
+		if t1.Insts[i].Kind != k {
+			t.Errorf("inst %d kind = %v, want %v (%s)", i, t1.Insts[i].Kind, k, &t1.Insts[i])
+		}
+	}
+	// Label L resolves to instruction 1 (the write to x).
+	if t1.Insts[3].Target != 1 || t1.Insts[15].Target != 1 {
+		t.Errorf("label resolution wrong: %d, %d", t1.Insts[3].Target, t1.Insts[15].Target)
+	}
+}
+
+func TestParseFenceDesugar(t *testing.T) {
+	p := parser.MustParse(`
+program f
+vals 2
+locs x
+thread a
+  x := 1
+  fence
+end
+thread b
+  fence
+  r := x
+end
+`)
+	fl, ok := p.LocByName(parser.FenceLoc)
+	if !ok {
+		t.Fatalf("fence location not declared")
+	}
+	for ti := range p.Threads {
+		found := false
+		for _, in := range p.Threads[ti].Insts {
+			if in.Kind == lang.IFADD && in.Mem.Base == fl {
+				found = true
+				if v, isConst := in.E.IsConst(); !isConst || v != 0 {
+					t.Errorf("fence FADD increment should be constant 0")
+				}
+			}
+		}
+		if !found {
+			t.Errorf("thread %d: no desugared fence found", ti)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := parser.MustParse(`
+program e
+vals 8
+locs x
+thread t
+  r := 1 + 2 * 3
+  x := r
+  r2 := 2 * 3 % 4
+  r3 := (1 + 2) * 2
+  r4 := r = 7 && r2 = 2
+  r5 := !(r4 = 0) || 0 > 1
+  x := r4 + r5
+end
+`)
+	ins := p.Threads[0].Insts
+	phi := make([]lang.Val, p.Threads[0].NumRegs)
+	for _, in := range ins {
+		if in.Kind == lang.IAssign {
+			phi[in.Reg] = in.E.Eval(phi, p.ValCount)
+		}
+	}
+	want := []lang.Val{7, 2, 6, 1, 1}
+	for i, w := range want {
+		if phi[i] != w {
+			t.Errorf("r%d = %d, want %d", i+1, phi[i], w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"unknown decl":    "program p\nfoo bar\n",
+		"unterminated":    "program p\nlocs x\nthread t\n  x := 1\n",
+		"dup label":       "program p\nlocs x\nthread t\nL:\nL:\n  x := 1\nend\n",
+		"undefined label": "program p\nlocs x\nthread t\n  goto NOPE\nend\n",
+		"dup loc":         "program p\nlocs x x\nthread t\n  x := 1\nend\n",
+		"loc in expr":     "program p\nlocs x y\nthread t\n  x := y + 1\nend\n",
+		"bad vals":        "program p\nvals 1\nlocs x\nthread t\n  x := 0\nend\n",
+		"stray char":      "program p\nlocs x\nthread t\n  x := 1 ?\nend\n",
+		"bad array size":  "program p\narray a 0\nthread t\n  skip\nend\n",
+		"missing paren":   "program p\nlocs x\nthread t\n  r := CAS(x, 0, 1\nend\n",
+		"value too large": "program p\nvals 3\nlocs x\nthread t\n  x := 7\nend\n",
+		"array no index":  "program p\narray a 2\nthread t\n  r := a\nend\n",
+	} {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestParseErrorsHaveLineNumbers(t *testing.T) {
+	_, err := parser.Parse("program p\nlocs x\nthread t\n  goto NOPE\nend\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error should cite line 4: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package prog
+
+import "repro/internal/lang"
+
+// CriticalVals computes, for each location, a bitmask of the critical
+// values Val(P, x) of Definition 5.5, using the sound syntactic
+// over-approximation discussed in §5.1:
+//
+//   - wait(x = e): a constant e makes that value critical for x; a
+//     non-constant e makes every value of x critical.
+//   - r := CAS(x, eR, eW) and BCAS(x, eR, eW): a constant eR makes that
+//     value critical for x; a non-constant eR makes every value critical.
+//   - Plain reads, writes and FADDs contribute nothing: a plain read
+//     enables R(x, v) for every v, and an FADD enables RMW(x, v, ·) for
+//     every v, so no value is distinguished (cf. the examples after
+//     Definition 5.5).
+//
+// For an array reference the values become critical for every cell of the
+// array, since the accessed cell is only known at run time.
+//
+// Over-approximating is always sound and precise here: the abstraction only
+// merges the tracking of values that are provably irrelevant to
+// enabledness, so tracking extra values exactly cannot change any verdict —
+// it can only cost state.
+func CriticalVals(p *lang.Program) []uint64 {
+	crit := make([]uint64, len(p.Locs))
+	mark := func(m lang.MemRef, e *lang.Expr) {
+		var mask uint64
+		if v, ok := e.IsConst(); ok {
+			mask = 1 << (int(v) % p.ValCount)
+		} else {
+			mask = AllValsMask(p.ValCount)
+		}
+		for i := 0; i < m.Size; i++ {
+			crit[m.Base+lang.Loc(i)] |= mask
+		}
+	}
+	for ti := range p.Threads {
+		for ii := range p.Threads[ti].Insts {
+			in := &p.Threads[ti].Insts[ii]
+			switch in.Kind {
+			case lang.IWait:
+				mark(in.Mem, in.E)
+			case lang.ICAS, lang.IBCAS:
+				mark(in.Mem, in.ER)
+			}
+		}
+	}
+	return crit
+}
+
+// AllValsMask returns the bitmask with every value of the domain set; used
+// for the un-abstracted ("full value tracking") mode of the monitor.
+func AllValsMask(valCount int) uint64 {
+	if valCount >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << valCount) - 1
+}
+
+// AllValsCrit returns a critical-value assignment with every value of
+// every location critical, for a raw (numLocs, valCount) shape — the
+// un-abstracted monitor configuration when no program is at hand.
+func AllValsCrit(numLocs, valCount int) []uint64 {
+	crit := make([]uint64, numLocs)
+	for i := range crit {
+		crit[i] = AllValsMask(valCount)
+	}
+	return crit
+}
+
+// FullCriticalVals returns the trivial critical-value assignment in which
+// every value of every location is critical. Running the monitor with this
+// assignment is exactly the un-optimized construction of §5 (the CV/CW
+// summary components stay empty invariantly); the difference against
+// CriticalVals is the §5.1 ablation.
+func FullCriticalVals(p *lang.Program) []uint64 {
+	crit := make([]uint64, len(p.Locs))
+	for i := range crit {
+		crit[i] = AllValsMask(p.ValCount)
+	}
+	return crit
+}

@@ -1,0 +1,83 @@
+package prog
+
+import "repro/internal/lang"
+
+// Register liveness. Two program states that differ only in the values of
+// registers that are dead (never read again before being overwritten) are
+// bisimilar, so the explorer canonicalizes dead registers to zero when
+// encoding states. This mirrors the dead-variable elimination Spin applies
+// to Rocker's generated Promela and typically shrinks the explored state
+// space by orders of magnitude on programs with scratch registers (fence
+// results, critical-section check registers, busy-wait loop registers).
+
+// LiveMasks exposes the per-pc live-register bitmasks (index len(Insts)
+// is the terminal point) for external consumers such as the code
+// generator in internal/emit.
+func LiveMasks(t *lang.SeqProg) []uint64 {
+	return liveSets(t)
+}
+
+// liveSets computes, for each instruction index (plus the terminal index
+// len(insts)), the bitmask of registers live on entry. Standard backward
+// may-liveness over the thread's control-flow graph.
+func liveSets(t *lang.SeqProg) []uint64 {
+	n := len(t.Insts)
+	live := make([]uint64, n+1) // live[n] = 0: nothing live at termination
+	use := make([]uint64, n)
+	def := make([]uint64, n)
+	for pc := range t.Insts {
+		in := &t.Insts[pc]
+		u := exprRegs(in.E) | exprRegs(in.ER) | exprRegs(in.EW)
+		if in.Mem.Index != nil {
+			u |= exprRegs(in.Mem.Index)
+		}
+		use[pc] = u
+		switch in.Kind {
+		case lang.IAssign, lang.IRead, lang.IFADD, lang.ICAS, lang.IXCHG:
+			def[pc] = 1 << in.Reg
+		}
+	}
+	succs := func(pc int) []int {
+		in := &t.Insts[pc]
+		if in.Kind == lang.IGoto {
+			if c, ok := in.E.IsConst(); ok && c != 0 {
+				return []int{in.Target} // unconditional
+			}
+			return []int{pc + 1, in.Target}
+		}
+		return []int{pc + 1}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			var out uint64
+			for _, s := range succs(pc) {
+				if s > n {
+					s = n
+				}
+				out |= live[s]
+			}
+			in := use[pc] | (out &^ def[pc])
+			if in != live[pc] {
+				live[pc] = in
+				changed = true
+			}
+		}
+	}
+	return live
+}
+
+func exprRegs(e *lang.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	switch e.Kind {
+	case lang.EReg:
+		return 1 << e.Reg
+	case lang.ENot:
+		return exprRegs(e.L)
+	case lang.EBin:
+		return exprRegs(e.L) | exprRegs(e.R)
+	}
+	return 0
+}

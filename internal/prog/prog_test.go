@@ -1,0 +1,271 @@
+package prog_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/parser"
+	"repro/internal/prog"
+)
+
+func mustProg(t *testing.T, src string) (*lang.Program, *prog.P) {
+	t.Helper()
+	pr, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return pr, prog.New(pr)
+}
+
+func TestEpsClosureStopsAtMemory(t *testing.T) {
+	_, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread t
+  r := 1
+  r2 := r + 1
+  if r2 = 3 goto SKIP
+  x := r2
+SKIP:
+  x := 0
+end
+`)
+	st, fail := p.InitState()
+	if fail != nil {
+		t.Fatalf("unexpected assert failure: %v", fail)
+	}
+	ts := st.Threads[0]
+	if ts.PC != 3 { // stopped at "x := r2"
+		t.Errorf("closure stopped at pc %d, want 3", ts.PC)
+	}
+	if ts.Regs[0] != 1 || ts.Regs[1] != 2 {
+		t.Errorf("registers after closure: %v", ts.Regs)
+	}
+	op := p.Threads[0].Op(ts)
+	if op.Kind != prog.OpWrite || op.WVal != 2 {
+		t.Errorf("op = %+v, want write of 2", op)
+	}
+}
+
+func TestEpsClosureDetectsAssertFailure(t *testing.T) {
+	_, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread t
+  r := 2
+  assert r = 3
+  x := 1
+end
+`)
+	_, fail := p.InitState()
+	if fail == nil {
+		t.Fatalf("expected assertion failure during initial closure")
+	}
+	if fail.PC != 1 {
+		t.Errorf("failure at pc %d, want 1", fail.PC)
+	}
+}
+
+func TestEpsClosureParksLocalDivergence(t *testing.T) {
+	_, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread t
+L:
+  r := r + 1
+  goto L
+end
+`)
+	st, fail := p.InitState()
+	if fail != nil {
+		t.Fatalf("unexpected failure: %v", fail)
+	}
+	if !p.Threads[0].Terminated(st.Threads[0]) {
+		t.Errorf("ε-divergent thread should be parked as terminated")
+	}
+}
+
+func TestSCLabelSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		op      prog.MemOp
+		cur     lang.Val
+		want    lang.Label
+		enabled bool
+	}{
+		{prog.MemOp{Kind: prog.OpWrite, Loc: 0, WVal: 2}, 5, lang.WriteLab(0, 2), true},
+		{prog.MemOp{Kind: prog.OpRead, Loc: 1}, 3, lang.ReadLab(1, 3), true},
+		{prog.MemOp{Kind: prog.OpFADD, Loc: 0, Add: 3}, 2, lang.RMWLab(0, 2, 1), true}, // mod 4
+		{prog.MemOp{Kind: prog.OpCAS, Loc: 0, Exp: 2, New: 3}, 2, lang.RMWLab(0, 2, 3), true},
+		{prog.MemOp{Kind: prog.OpCAS, Loc: 0, Exp: 2, New: 3}, 1, lang.ReadLab(0, 1), true}, // failed CAS reads
+		{prog.MemOp{Kind: prog.OpWait, Loc: 0, WVal: 1}, 1, lang.ReadLab(0, 1), true},
+		{prog.MemOp{Kind: prog.OpWait, Loc: 0, WVal: 1}, 0, lang.Label{}, false},
+		{prog.MemOp{Kind: prog.OpBCAS, Loc: 0, Exp: 1, New: 2}, 1, lang.RMWLab(0, 1, 2), true},
+		{prog.MemOp{Kind: prog.OpBCAS, Loc: 0, Exp: 1, New: 2}, 0, lang.Label{}, false},
+		{prog.MemOp{Kind: prog.OpXCHG, Loc: 0, New: 3}, 1, lang.RMWLab(0, 1, 3), true},
+	} {
+		got, enabled := prog.SCLabel(tc.op, tc.cur, 4)
+		if enabled != tc.enabled || (enabled && got != tc.want) {
+			t.Errorf("SCLabel(%+v, cur=%d) = %v,%v; want %v,%v", tc.op, tc.cur, got, enabled, tc.want, tc.enabled)
+		}
+	}
+}
+
+func TestEnables(t *testing.T) {
+	cas := prog.MemOp{Kind: prog.OpCAS, Loc: 0, Exp: 1, New: 2}
+	if !prog.Enables(cas, lang.RMWLab(0, 1, 2)) {
+		t.Errorf("CAS should enable its RMW label")
+	}
+	if prog.Enables(cas, lang.RMWLab(0, 0, 2)) {
+		t.Errorf("CAS should not enable an RMW with the wrong expected value")
+	}
+	if !prog.Enables(cas, lang.ReadLab(0, 0)) || prog.Enables(cas, lang.ReadLab(0, 1)) {
+		t.Errorf("failed-CAS read labels wrong")
+	}
+	if prog.Enables(cas, lang.ReadLab(1, 0)) {
+		t.Errorf("wrong location should not be enabled")
+	}
+}
+
+func TestCriticalVals(t *testing.T) {
+	pr, _ := mustProg(t, `
+program p
+vals 4
+locs x y z w
+thread t
+  wait(x = 2)
+  r := CAS(y, 1, 3)
+  BCAS(z, 0, 1)
+  r2 := z
+  r3 := FADD(w, 1)
+end
+thread u
+  r := y
+  r2 := CAS(y, r, 0)
+end
+`)
+	crit := prog.CriticalVals(pr)
+	xi, _ := pr.LocByName("x")
+	yi, _ := pr.LocByName("y")
+	zi, _ := pr.LocByName("z")
+	wi, _ := pr.LocByName("w")
+	if crit[xi] != 1<<2 {
+		t.Errorf("crit(x) = %b, want {2}", crit[xi])
+	}
+	// y has the constant CAS comparand 1 and a register comparand in
+	// thread u, which makes every value critical.
+	if crit[yi] != prog.AllValsMask(4) {
+		t.Errorf("crit(y) = %b, want all", crit[yi])
+	}
+	if crit[zi] != 1<<0 {
+		t.Errorf("crit(z) = %b, want {0}", crit[zi])
+	}
+	if crit[wi] != 0 {
+		t.Errorf("crit(w) = %b, want none (FADD distinguishes no value)", crit[wi])
+	}
+}
+
+func TestLivenessCanonicalization(t *testing.T) {
+	pr, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread t
+  r := x
+  x := r
+  r2 := x
+  x := 2
+end
+`)
+	_ = pr
+	st, _ := p.InitState()
+	// Position the thread at the final write (pc 3): both r and r2 dead.
+	ts := st.Threads[0]
+	ts.PC = 3
+	ts.Regs[0] = 3
+	ts.Regs[1] = 2
+	st.Threads[0] = ts
+	enc1 := p.EncodeState(nil, st)
+	ts.Regs[0] = 1
+	ts.Regs[1] = 0
+	st.Threads[0] = ts
+	enc2 := p.EncodeState(nil, st)
+	if string(enc1) != string(enc2) {
+		t.Errorf("dead registers should be canonicalized in EncodeState")
+	}
+	raw1 := p.EncodeStateRaw(nil, st)
+	ts.Regs[0] = 3
+	st.Threads[0] = ts
+	raw2 := p.EncodeStateRaw(nil, st)
+	if string(raw1) == string(raw2) {
+		t.Errorf("raw encoding must distinguish register values")
+	}
+	// At pc 1 ("x := r"), r is live and must be preserved.
+	ts.PC = 1
+	ts.Regs[0] = 3
+	st.Threads[0] = ts
+	live1 := p.EncodeState(nil, st)
+	ts.Regs[0] = 2
+	st.Threads[0] = ts
+	live2 := p.EncodeState(nil, st)
+	if string(live1) == string(live2) {
+		t.Errorf("live register was erased by canonicalization")
+	}
+}
+
+func TestDecodeStateRoundTrip(t *testing.T) {
+	_, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread a
+  r := x
+  x := r
+end
+thread b
+  s := x
+  t := s + 1
+  x := t
+end
+`)
+	st, _ := p.InitState()
+	st.Threads[0].Regs[0] = 3
+	enc := p.EncodeState(nil, st)
+	back := p.InitStateRaw()
+	n := p.DecodeState(enc, back)
+	if n != len(enc) {
+		t.Fatalf("decode consumed %d of %d", n, len(enc))
+	}
+	if string(p.EncodeState(nil, back)) != string(enc) {
+		t.Errorf("decode(encode) not a fixpoint")
+	}
+}
+
+func TestApplyRawVsApply(t *testing.T) {
+	_, p := mustProg(t, `
+program p
+vals 4
+locs x
+thread t
+  r := x
+  if r = 1 goto DONE
+  x := 3
+DONE:
+end
+`)
+	st, _ := p.InitState()
+	ts := st.Threads[0]
+	raw := p.Threads[0].ApplyRaw(ts, lang.ReadLab(0, 1))
+	if raw.PC != 1 || raw.Regs[0] != 1 {
+		t.Errorf("ApplyRaw: pc=%d regs=%v, want pc=1 r=1", raw.PC, raw.Regs)
+	}
+	closed, fail := p.Threads[0].Apply(ts, lang.ReadLab(0, 1))
+	if fail != nil {
+		t.Fatalf("apply: %v", fail)
+	}
+	if !p.Threads[0].Terminated(closed) {
+		t.Errorf("Apply should have ε-closed through the taken branch to termination")
+	}
+}

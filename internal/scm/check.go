@@ -1,0 +1,175 @@
+package scm
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+)
+
+// ViolationKind classifies why a state fails the robustness conditions.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// StaleRead: a read (or the failing-read case of a CAS) could read,
+	// under RAG, from a write that is not mo-maximal — the Theorem 5.3
+	// condition for typ(l) = R.
+	StaleRead ViolationKind = iota
+	// StaleWrite: a write could choose, under RAG, a predecessor write
+	// that is not mo-maximal — the condition for typ(l) = W.
+	StaleWrite
+	// StaleRMW: an RMW could read from a non-mo-maximal write — the
+	// condition for typ(l) = RMW.
+	StaleRMW
+	// NARace: the state is racy on a non-atomic location (Definition 6.1).
+	NARace
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case StaleRead:
+		return "stale read"
+	case StaleWrite:
+		return "non-maximal write placement"
+	case StaleRMW:
+		return "stale RMW"
+	case NARace:
+		return "data race on non-atomic location"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+}
+
+// Violation reports a failed robustness condition at a reachable SCM state:
+// thread Tid, poised at program counter PC, could perform an RA transition
+// that diverges from SC at location Loc.
+type Violation struct {
+	Kind ViolationKind
+	Tid  lang.Tid
+	Loc  lang.Loc
+	PC   int
+	// Tid2/PC2 identify the second access of a data race.
+	Tid2 lang.Tid
+	PC2  int
+}
+
+// CheckOp evaluates the Theorem 5.3 robustness conditions (with the §5.1
+// abstract-value refinements) for thread tid whose pending operation is op,
+// at monitor state s. It returns nil when every label the thread enables is
+// robust.
+//
+// The conditions apply only when loc(l) ∈ VSC(τ): a non-robustness witness
+// requires wmax to have an hbSC-path to the thread (Theorem 5.1); without
+// it, divergent RAG behaviour from this state cannot leave the SC-reachable
+// set at this step.
+func (mon *Monitor) CheckOp(s *State, tid lang.Tid, op prog.MemOp) *Violation {
+	if op.Kind == prog.OpNone || op.NA {
+		return nil
+	}
+	x := int(op.Loc)
+	if mon.VSC(s, int(tid))&(1<<x) == 0 {
+		return nil
+	}
+	v := mon.V(s, int(tid), x)
+	vr := mon.VR(s, int(tid), x)
+	cv := mon.CV(s, int(tid))&(1<<x) != 0
+	cvr := mon.CVR(s, int(tid))&(1<<x) != 0
+	crit := mon.Crit[x]
+	viol := func(k ViolationKind) *Violation {
+		return &Violation{Kind: k, Tid: tid, Loc: op.Loc, PC: op.PC}
+	}
+	switch op.Kind {
+	case prog.OpWrite:
+		// The program enables W(x, v): robust iff VRMW(τ)(x) = ∅ and
+		// x ∉ CVRMW(τ). Under SRA writes have no placement freedom.
+		if mon.SRA {
+			return nil
+		}
+		if vr != 0 || cvr {
+			return viol(StaleWrite)
+		}
+	case prog.OpRead:
+		// Enables R(x, v) for every v: robust iff V(τ)(x) = ∅ and
+		// x ∉ CV(τ).
+		if v != 0 || cv {
+			return viol(StaleRead)
+		}
+	case prog.OpWait:
+		// Enables only R(x, WVal).
+		wb := uint64(1) << op.WVal
+		if v&wb != 0 {
+			return viol(StaleRead)
+		}
+		if crit&wb == 0 && cv {
+			return viol(StaleRead)
+		}
+	case prog.OpFADD, prog.OpXCHG:
+		// Enables RMW(x, v, ·) for every v. SRA RMWs read mo-maximally.
+		if mon.SRA {
+			return nil
+		}
+		if vr != 0 || cvr {
+			return viol(StaleRMW)
+		}
+	case prog.OpCAS:
+		// Enables RMW(x, Exp, New) and R(x, v) for every v ≠ Exp. Under
+		// SRA only the failing-read labels can be stale.
+		eb := uint64(1) << op.Exp
+		if !mon.SRA {
+			if vr&eb != 0 {
+				return viol(StaleRMW)
+			}
+			if crit&eb == 0 && cvr {
+				return viol(StaleRMW)
+			}
+		}
+		if v&^eb != 0 || cv {
+			// A non-critical readable value cannot equal Exp when Exp is
+			// critical, and when Exp is non-critical every value of x is
+			// critical and CV(τ) is empty — so the CV summary alone
+			// witnesses a readable stale value ≠ Exp.
+			return viol(StaleRead)
+		}
+	case prog.OpBCAS:
+		// Enables only RMW(x, Exp, New).
+		if mon.SRA {
+			return nil
+		}
+		eb := uint64(1) << op.Exp
+		if vr&eb != 0 {
+			return viol(StaleRMW)
+		}
+		if crit&eb == 0 && cvr {
+			return viol(StaleRMW)
+		}
+	}
+	return nil
+}
+
+// CheckRace evaluates the racy-state condition of Definition 6.1 over all
+// pending operations: two distinct threads enable labels on the same
+// non-atomic location, at least one of them writing.
+func (mon *Monitor) CheckRace(ops []prog.MemOp) *Violation {
+	for i := range ops {
+		if ops[i].Kind == prog.OpNone || !ops[i].NA {
+			continue
+		}
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].Kind == prog.OpNone || !ops[j].NA {
+				continue
+			}
+			if ops[i].Loc != ops[j].Loc {
+				continue
+			}
+			if ops[i].Kind == prog.OpWrite || ops[j].Kind == prog.OpWrite {
+				return &Violation{
+					Kind: NARace,
+					Tid:  lang.Tid(i), Loc: ops[i].Loc, PC: ops[i].PC,
+					Tid2: lang.Tid(j), PC2: ops[j].PC,
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package scm_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/scm"
+)
+
+// fig4State is the subset of SCM components the paper's Figure 4 displays:
+// the memory, the three hbSC-tracking components, and the V/W value
+// tracking (the runs contain no RMWs, so VRMW = V and WRMW = W throughout,
+// which the test also asserts).
+type fig4State struct {
+	M        [2]lang.Val
+	VSC      [2]uint64 // per thread, bitset over {x=bit0, y=bit1}
+	WSC, MSC [2]uint64 // per location
+	V        [2][2]uint64
+	Wxy, Wyx uint64 // W(x)(y) and W(y)(x) as value bitsets
+}
+
+const (
+	x = 0
+	y = 1
+)
+
+func set(vals ...int) uint64 {
+	var b uint64
+	for _, v := range vals {
+		b |= 1 << v
+	}
+	return b
+}
+
+// replay drives the monitor through the labelled steps and compares each
+// intermediate state against the expectation.
+func replay(t *testing.T, name string, steps []struct {
+	tid lang.Tid
+	lab lang.Label
+	exp fig4State
+}, init fig4State) {
+	t.Helper()
+	mon := scm.NewMonitor(2, 2, 2, prog.AllValsCrit(2, 2), nil)
+	s := mon.Init()
+	checkState := func(step int, exp fig4State) {
+		t.Helper()
+		for loc := 0; loc < 2; loc++ {
+			if s.M[loc] != exp.M[loc] {
+				t.Fatalf("%s step %d: M[%d] = %d, want %d", name, step, loc, s.M[loc], exp.M[loc])
+			}
+			if got := mon.MSC(s, loc); got != exp.MSC[loc] {
+				t.Fatalf("%s step %d: MSC(%d) = %b, want %b", name, step, loc, got, exp.MSC[loc])
+			}
+			if got := mon.WSC(s, loc); got != exp.WSC[loc] {
+				t.Fatalf("%s step %d: WSC(%d) = %b, want %b", name, step, loc, got, exp.WSC[loc])
+			}
+		}
+		for tid := 0; tid < 2; tid++ {
+			if got := mon.VSC(s, tid); got != exp.VSC[tid] {
+				t.Fatalf("%s step %d: VSC(%d) = %b, want %b", name, step, tid, got, exp.VSC[tid])
+			}
+			for loc := 0; loc < 2; loc++ {
+				if got := mon.V(s, tid, loc); got != exp.V[tid][loc] {
+					t.Fatalf("%s step %d: V(%d)(%d) = %b, want %b", name, step, tid, loc, got, exp.V[tid][loc])
+				}
+				if got := mon.VR(s, tid, loc); got != mon.V(s, tid, loc) {
+					t.Fatalf("%s step %d: VRMW(%d)(%d) != V (no RMWs in the run)", name, step, tid, loc)
+				}
+			}
+		}
+		if got := mon.W(s, x, y); got != exp.Wxy {
+			t.Fatalf("%s step %d: W(x)(y) = %b, want %b", name, step, got, exp.Wxy)
+		}
+		if got := mon.W(s, y, x); got != exp.Wyx {
+			t.Fatalf("%s step %d: W(y)(x) = %b, want %b", name, step, got, exp.Wyx)
+		}
+	}
+	checkState(0, init)
+	for i, st := range steps {
+		mon.Step(s, st.tid, st.lab)
+		checkState(i+1, st.exp)
+	}
+}
+
+// initial is the shared first column of both Figure 4 illustrations.
+var fig4Init = fig4State{
+	M:   [2]lang.Val{0, 0},
+	VSC: [2]uint64{set(x, y), set(x, y)},
+	WSC: [2]uint64{set(x), set(y)},
+	MSC: [2]uint64{set(x), set(y)},
+}
+
+// TestFig4MP replays the paper's Figure 4 run of the MP program under SCG
+// and asserts every displayed component value after every step. Thread
+// indices 0 and 1 are the figure's τ1 and τ2.
+func TestFig4MP(t *testing.T) {
+	replay(t, "MP", []struct {
+		tid lang.Tid
+		lab lang.Label
+		exp fig4State
+	}{
+		{0, lang.WriteLab(x, 1), fig4State{
+			M:   [2]lang.Val{1, 0},
+			VSC: [2]uint64{set(x, y), set(y)},
+			WSC: [2]uint64{set(x, y), set(y)},
+			MSC: [2]uint64{set(x, y), set(y)},
+			V:   [2][2]uint64{{0, 0}, {set(0), 0}},
+			Wxy: 0, Wyx: set(0),
+		}},
+		{0, lang.WriteLab(y, 1), fig4State{
+			M:   [2]lang.Val{1, 1},
+			VSC: [2]uint64{set(x, y), 0},
+			WSC: [2]uint64{set(x), set(x, y)},
+			MSC: [2]uint64{set(x), set(x, y)},
+			V:   [2][2]uint64{{0, 0}, {set(0), set(0)}},
+			Wxy: set(0), Wyx: 0,
+		}},
+		{1, lang.ReadLab(y, 1), fig4State{
+			M:   [2]lang.Val{1, 1},
+			VSC: [2]uint64{set(x, y), set(x, y)},
+			WSC: [2]uint64{set(x), set(x, y)},
+			MSC: [2]uint64{set(x), set(x, y)},
+			V:   [2][2]uint64{{0, 0}, {0, 0}},
+			Wxy: set(0), Wyx: 0,
+		}},
+		{1, lang.ReadLab(x, 1), fig4State{
+			M:   [2]lang.Val{1, 1},
+			VSC: [2]uint64{set(x, y), set(x, y)},
+			WSC: [2]uint64{set(x), set(x, y)},
+			MSC: [2]uint64{set(x, y), set(x, y)},
+			V:   [2][2]uint64{{0, 0}, {0, 0}},
+			Wxy: set(0), Wyx: 0,
+		}},
+	}, fig4Init)
+}
+
+// TestFig4SB replays the Figure 4 run of the SB program: the SC prefix
+// ⟨τ1,W(x,1)⟩ ⟨τ1,R(y,0)⟩ ⟨τ2,W(y,1)⟩ and then asserts the robustness
+// violation the figure annotates: τ2's pending read of x has x ∈ VSC(τ2)
+// and 0 ∈ V(τ2)(x).
+func TestFig4SB(t *testing.T) {
+	replay(t, "SB", []struct {
+		tid lang.Tid
+		lab lang.Label
+		exp fig4State
+	}{
+		{0, lang.WriteLab(x, 1), fig4State{
+			M:   [2]lang.Val{1, 0},
+			VSC: [2]uint64{set(x, y), set(y)},
+			WSC: [2]uint64{set(x, y), set(y)},
+			MSC: [2]uint64{set(x, y), set(y)},
+			V:   [2][2]uint64{{0, 0}, {set(0), 0}},
+			Wxy: 0, Wyx: set(0),
+		}},
+		{0, lang.ReadLab(y, 0), fig4State{
+			M:   [2]lang.Val{1, 0},
+			VSC: [2]uint64{set(x, y), set(y)},
+			WSC: [2]uint64{set(x, y), set(y)},
+			MSC: [2]uint64{set(x, y), set(x, y)},
+			V:   [2][2]uint64{{0, 0}, {set(0), 0}},
+			Wxy: 0, Wyx: set(0),
+		}},
+		{1, lang.WriteLab(y, 1), fig4State{
+			M:   [2]lang.Val{1, 1},
+			VSC: [2]uint64{set(x), set(x, y)},
+			WSC: [2]uint64{set(x), set(x, y)},
+			MSC: [2]uint64{set(x), set(x, y)},
+			V:   [2][2]uint64{{0, set(0)}, {set(0), 0}},
+			Wxy: set(0), Wyx: set(0),
+		}},
+	}, fig4Init)
+
+	// Rebuild the final state and assert the violation condition of the
+	// figure via the Theorem 5.3 check.
+	mon := scm.NewMonitor(2, 2, 2, prog.AllValsCrit(2, 2), nil)
+	s := mon.Init()
+	mon.Step(s, 0, lang.WriteLab(x, 1))
+	mon.Step(s, 0, lang.ReadLab(y, 0))
+	mon.Step(s, 1, lang.WriteLab(y, 1))
+	viol := mon.CheckOp(s, 1, prog.MemOp{Kind: prog.OpRead, Loc: x})
+	if viol == nil {
+		t.Fatalf("SB: expected the Figure 4 robustness violation (x ∈ VSC(τ2), 0 ∈ V(τ2)(x))")
+	}
+	if viol.Kind != scm.StaleRead || viol.Loc != x {
+		t.Fatalf("SB: got violation %v at loc %d, want stale read at x", viol.Kind, viol.Loc)
+	}
+}

@@ -1,0 +1,94 @@
+package scm_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/scm"
+)
+
+// naMonitor builds a 2-thread monitor with locations {ra, na} where the
+// second is non-atomic.
+func naMonitor() *scm.Monitor {
+	return scm.NewMonitor(2, 2, 4, prog.AllValsCrit(2, 4), []bool{false, true})
+}
+
+// TestNAStepsOnlyTouchMemory checks §6's treatment of non-atomic
+// accesses: they update M and leave every tracking component alone.
+func TestNAStepsOnlyTouchMemory(t *testing.T) {
+	mon := naMonitor()
+	s := mon.Init()
+	ref := s.Clone()
+	mon.Step(s, 0, lang.WriteLab(1, 3))
+	if s.M[1] != 3 {
+		t.Fatalf("NA write did not reach memory")
+	}
+	s.M[1] = 0
+	if !s.Equal(ref) {
+		t.Errorf("NA write disturbed the instrumentation")
+	}
+	s.M[1] = 3
+	mon.Step(s, 1, lang.ReadLab(1, 3))
+	s.M[1] = 0
+	if !s.Equal(ref) {
+		t.Errorf("NA read disturbed the instrumentation")
+	}
+}
+
+// TestCheckOpSkipsNA: robustness conditions do not apply to non-atomic
+// operations (they are covered by the racy-state check instead).
+func TestCheckOpSkipsNA(t *testing.T) {
+	mon := naMonitor()
+	s := mon.Init()
+	// Make location 0 maximally "dirty" so a check would fire if applied.
+	mon.Step(s, 0, lang.WriteLab(0, 1))
+	op := prog.MemOp{Kind: prog.OpRead, Loc: 1, NA: true}
+	if v := mon.CheckOp(s, 1, op); v != nil {
+		t.Errorf("CheckOp fired on a non-atomic access: %+v", v)
+	}
+}
+
+// TestCheckRace exercises Definition 6.1 over pending-operation vectors.
+func TestCheckRace(t *testing.T) {
+	mon := naMonitor()
+	naW := prog.MemOp{Kind: prog.OpWrite, Loc: 1, NA: true}
+	naR := prog.MemOp{Kind: prog.OpRead, Loc: 1, NA: true}
+	raW := prog.MemOp{Kind: prog.OpWrite, Loc: 0}
+	none := prog.MemOp{Kind: prog.OpNone}
+	for _, tc := range []struct {
+		name string
+		ops  []prog.MemOp
+		racy bool
+	}{
+		{"write-write", []prog.MemOp{naW, naW}, true},
+		{"write-read", []prog.MemOp{naW, naR}, true},
+		{"read-write", []prog.MemOp{naR, naW}, true},
+		{"read-read", []prog.MemOp{naR, naR}, false},
+		{"na-vs-ra", []prog.MemOp{naW, raW}, false},
+		{"with-terminated", []prog.MemOp{none, naW}, false},
+		{"ra-only", []prog.MemOp{raW, raW}, false},
+	} {
+		v := mon.CheckRace(tc.ops)
+		if (v != nil) != tc.racy {
+			t.Errorf("%s: racy=%v, want %v", tc.name, v != nil, tc.racy)
+		}
+		if v != nil && v.Kind != scm.NARace {
+			t.Errorf("%s: kind %v", tc.name, v.Kind)
+		}
+	}
+}
+
+// TestViolationKindStrings pins the diagnostic names.
+func TestViolationKindStrings(t *testing.T) {
+	for kind, want := range map[scm.ViolationKind]string{
+		scm.StaleRead:  "stale read",
+		scm.StaleWrite: "non-maximal write placement",
+		scm.StaleRMW:   "stale RMW",
+		scm.NARace:     "data race on non-atomic location",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d: %q", kind, kind.String())
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package staterobust_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/parser"
+	"repro/internal/staterobust"
+)
+
+// catalogTest is one classic memory-model litmus test with its
+// literature-established verdict under RA: whether the annotated outcome
+// (a predicate over the threads' final registers) is reachable.
+type catalogTest struct {
+	name    string
+	source  string
+	outcome func(regs [][]lang.Val) bool
+	// allowedRA / allowedSC: is the outcome reachable under each model?
+	allowedRA bool
+	allowedSC bool
+	// allowedSRA, when the SRA verdict differs from RA's.
+	allowedSRA *bool
+}
+
+func boolp(b bool) *bool { return &b }
+
+// The catalog. Register indices follow first-use order in each thread.
+var catalog = []catalogTest{
+	{
+		// Load buffering: po ∪ rf is acyclic under RA, so both threads
+		// cannot read the other's (program-order-later) write.
+		name: "LB",
+		source: `
+program LB
+vals 2
+locs x y
+thread t1
+  a := x
+  y := 1
+end
+thread t2
+  b := y
+  x := 1
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[0][0] == 1 && r[1][0] == 1
+		},
+		allowedRA: false, allowedSC: false,
+	},
+	{
+		// Store buffering: the weak classic; allowed under RA.
+		name: "SB",
+		source: `
+program SB
+vals 2
+locs x y
+thread t1
+  x := 1
+  a := y
+end
+thread t2
+  y := 1
+  b := x
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[0][0] == 0 && r[1][0] == 0
+		},
+		allowedRA: true, allowedSC: false,
+		// SRA writes are still only location-maximal; the SB outcome
+		// needs no write-placement freedom, only stale reads — allowed.
+		allowedSRA: boolp(true),
+	},
+	{
+		// Coherence of read-read (CoRR2): two readers cannot observe the
+		// two independent writes in opposite orders — mo is total per
+		// location and reads respect it through mo;hb.
+		name: "CoRR2",
+		source: `
+program CoRR2
+vals 3
+locs x
+thread w1
+  x := 1
+end
+thread w2
+  x := 2
+end
+thread r1
+  a := x
+  b := x
+end
+thread r2
+  c := x
+  d := x
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			a, b := r[2][0], r[2][1]
+			c, d := r[3][0], r[3][1]
+			return a == 1 && b == 2 && c == 2 && d == 1
+		},
+		allowedRA: false, allowedSC: false,
+	},
+	{
+		// Write-to-read causality: RA is causally consistent; a reader
+		// that observes t2's write (made after t2 read x = 1) also
+		// observes x = 1.
+		name: "WRC",
+		source: `
+program WRC
+vals 2
+locs x y
+thread t1
+  x := 1
+end
+thread t2
+  a := x
+  y := 1
+end
+thread t3
+  b := y
+  c := x
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[1][0] == 1 && r[2][0] == 1 && r[2][1] == 0
+		},
+		allowedRA: false, allowedSC: false,
+	},
+	{
+		// ISA2: transitive message passing through a third location.
+		name: "ISA2",
+		source: `
+program ISA2
+vals 2
+locs x y z
+thread t1
+  x := 1
+  y := 1
+end
+thread t2
+  a := y
+  z := 1
+end
+thread t3
+  b := z
+  c := x
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[1][0] == 1 && r[2][0] == 1 && r[2][1] == 0
+		},
+		allowedRA: false, allowedSC: false,
+	},
+	{
+		// IRIW: RA is not multi-copy-atomic (Example 3.3).
+		name: "IRIW",
+		source: `
+program IRIW
+vals 2
+locs x y
+thread w1
+  x := 1
+end
+thread r1
+  a := x
+  b := y
+end
+thread r2
+  c := y
+  d := x
+end
+thread w2
+  y := 1
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[1][0] == 1 && r[1][1] == 0 && r[2][0] == 1 && r[2][1] == 0
+		},
+		allowedRA: true, allowedSC: false,
+	},
+	{
+		// 2+2W with observing reads (Example 3.4): needs a non-maximal
+		// write placement, so it distinguishes RA from SRA.
+		name: "2+2W",
+		source: `
+program two-plus-two-w
+vals 3
+locs x y
+thread t1
+  x := 1
+  y := 2
+  a := y
+end
+thread t2
+  y := 1
+  x := 2
+  b := x
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[0][0] == 1 && r[1][0] == 1
+		},
+		allowedRA: true, allowedSC: false,
+		allowedSRA: boolp(false),
+	},
+	{
+		// RMW atomicity (Example 3.5): two CASes cannot both succeed.
+		name: "2RMW",
+		source: `
+program two-rmw
+vals 2
+locs x
+thread t1
+  a := CAS(x, 0, 1)
+end
+thread t2
+  b := CAS(x, 0, 1)
+end
+`,
+		outcome: func(r [][]lang.Val) bool {
+			return r[0][0] == 0 && r[1][0] == 0
+		},
+		allowedRA: false, allowedSC: false,
+	},
+}
+
+// TestRAOutcomeCatalog drives the classic litmus tests through the RA
+// timestamp machine (and SC, and SRA where it differs) and checks the
+// annotated outcomes against the literature ground truth. This validates
+// the operational RA semantics of §3 independently of the robustness
+// machinery.
+func TestRAOutcomeCatalog(t *testing.T) {
+	lim := staterobust.Limits{MaxStates: 3_000_000}
+	for _, tc := range catalog {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			program := parser.MustParse(tc.source)
+			reachable := func(model string) bool {
+				outs, err := staterobust.FinalOutcomes(program, model, lim)
+				if err != nil {
+					t.Fatalf("%s: %v", model, err)
+				}
+				for _, o := range outs {
+					if tc.outcome(o.Regs) {
+						return true
+					}
+				}
+				return false
+			}
+			if got := reachable("ra"); got != tc.allowedRA {
+				t.Errorf("RA: outcome reachable=%v, literature says %v", got, tc.allowedRA)
+			}
+			if got := reachable("sc"); got != tc.allowedSC {
+				t.Errorf("SC: outcome reachable=%v, want %v", got, tc.allowedSC)
+			}
+			wantSRA := tc.allowedRA
+			if tc.allowedSRA != nil {
+				wantSRA = *tc.allowedSRA
+			}
+			if got := reachable("sra"); got != wantSRA {
+				t.Errorf("SRA: outcome reachable=%v, want %v", got, wantSRA)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package staterobust
+
+import (
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/memra"
+	"repro/internal/prog"
+)
+
+// raHeadroom derives the default write-slot headroom: one more than the
+// number of write instructions in the program (every write instruction can
+// execute at most once per... conservatively, this is exact for programs
+// whose runs perform at most that many writes per location; for loopy
+// programs the exploration is additionally guarded by the state bound).
+func raHeadroom(program *lang.Program, lim Limits) int {
+	if lim.RAHeadroom > 0 {
+		return lim.RAHeadroom
+	}
+	n := 2
+	for ti := range program.Threads {
+		for ii := range program.Threads[ti].Insts {
+			switch program.Threads[ti].Insts[ii].Kind {
+			case lang.IWrite, lang.IFADD, lang.ICAS, lang.IBCAS, lang.IXCHG:
+				n++
+			}
+		}
+	}
+	if n > 12 {
+		n = 12 // keep branching bounded; the state bound guards precision
+	}
+	return n
+}
+
+// CheckRA decides state robustness of the program against RA by exploring
+// the product of the program with the §3 timestamp machine
+// (timestamp-canonicalized, see memra). Intended for litmus-sized
+// programs: it exists to cross-validate the SCM-based decision procedure,
+// not to replace it — that reversal of roles is exactly the paper's point
+// (the RA machine is infinite-state in general; SCM is finite always).
+func CheckRA(program *lang.Program, lim Limits) (*Result, error) {
+	return checkWeakRA(program, lim, false)
+}
+
+// CheckSRA is CheckRA for the SRA model (writes and RMW-writes must pick
+// globally maximal timestamps; see memra.WriteSlotSRA). SRA sits between
+// RA and SC: per the paper's Example 3.4, 2+2W is robust against SRA but
+// not against RA.
+func CheckSRA(program *lang.Program, lim Limits) (*Result, error) {
+	return checkWeakRA(program, lim, true)
+}
+
+func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
+	scSet, err := ReachableSC(program, lim)
+	if err != nil {
+		return nil, err
+	}
+	p := prog.New(program)
+	res := &Result{Robust: true, SCStates: len(scSet)}
+	headroom := raHeadroom(program, lim)
+	gapCap := headroom + 1
+
+	type node struct {
+		ps prog.State
+		m  *memra.State
+	}
+	ps0 := p.InitStateRaw()
+	store := explore.NewStore()
+	var queue explore.Queue[node]
+	weak := map[string]struct{}{}
+	var buf []byte
+	key := func(ps prog.State, m *memra.State) string {
+		buf = buf[:0]
+		buf = p.EncodeStateRaw(buf, ps)
+		buf = m.Encode(buf)
+		return string(buf)
+	}
+	check := func(id int32, ps prog.State) bool {
+		pk := p.StateKeyRaw(ps)
+		if _, ok := weak[pk]; !ok {
+			weak[pk] = struct{}{}
+			if _, ok := scSet[pk]; !ok {
+				res.Robust = false
+				if res.WitnessTrace == nil {
+					res.WitnessTrace = store.Trace(id)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	m0 := memra.New(program.NumLocs(), program.NumThreads())
+	root := store.Root(key(ps0, m0))
+	queue.Push(root, node{ps0, m0})
+	if check(root, ps0) {
+		res.Explored = store.Len()
+		return res, nil
+	}
+
+	// successor applies one program step with the given label and RA
+	// memory effect, already performed on nextM.
+	for {
+		item, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		if store.Len() > lim.maxStates() {
+			return nil, ErrBound
+		}
+		n := item.St
+		emit := func(t int, label lang.Label, nextM *memra.State) bool {
+			nextPS := n.ps.Clone()
+			nextPS.Threads[t] = p.Threads[t].ApplyRaw(n.ps.Threads[t], label)
+			nextM.Canonicalize(gapCap)
+			id, isNew := store.Add(key(nextPS, nextM), item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			if isNew {
+				if check(id, nextPS) {
+					return true
+				}
+				queue.Push(id, node{nextPS, nextM})
+			}
+			return false
+		}
+		for t := range p.Threads {
+			th := &p.Threads[t]
+			ts := n.ps.Threads[t]
+			tid := lang.Tid(t)
+			if th.Terminated(ts) {
+				continue
+			}
+			if th.AtEps(ts) {
+				nextTS, afail := th.StepEps(ts)
+				if afail != nil {
+					continue
+				}
+				nextPS := n.ps.Clone()
+				nextPS.Threads[t] = nextTS
+				id, isNew := store.Add(key(nextPS, n.m), item.ID,
+					explore.Step{Tid: tid, Internal: "eps"})
+				if isNew {
+					if check(id, nextPS) {
+						res.Explored = store.Len()
+						res.WeakStates = len(weak)
+						return res, nil
+					}
+					queue.Push(id, node{nextPS, n.m.Clone()})
+				}
+				continue
+			}
+			op := th.Op(ts)
+			switch op.Kind {
+			case prog.OpWrite:
+				slots := n.m.WriteSlots(tid, op.Loc, headroom)
+				if sra {
+					slots = []memra.Time{n.m.WriteSlotSRA(op.Loc)}
+				}
+				for _, slot := range slots {
+					nextM := n.m.Clone()
+					nextM.Write(tid, op.Loc, op.WVal, slot)
+					if emit(t, lang.WriteLab(op.Loc, op.WVal), nextM) {
+						res.Explored = store.Len()
+						res.WeakStates = len(weak)
+						return res, nil
+					}
+				}
+			case prog.OpRead, prog.OpWait:
+				for _, msg := range n.m.ReadCandidates(tid, op.Loc) {
+					if op.Kind == prog.OpWait && msg.Val != op.WVal {
+						continue
+					}
+					nextM := n.m.Clone()
+					nextM.Read(tid, msg)
+					if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
+						res.Explored = store.Len()
+						res.WeakStates = len(weak)
+						return res, nil
+					}
+				}
+			case prog.OpFADD, prog.OpXCHG, prog.OpCAS, prog.OpBCAS:
+				rmwCands := n.m.RMWCandidates(tid, op.Loc)
+				if sra {
+					rmwCands = n.m.RMWCandidatesSRA(tid, op.Loc)
+				}
+				for _, msg := range rmwCands {
+					var vW lang.Val
+					switch op.Kind {
+					case prog.OpFADD:
+						vW = lang.Val((int(msg.Val) + int(op.Add)) % program.ValCount)
+					case prog.OpXCHG:
+						vW = op.New
+					case prog.OpCAS, prog.OpBCAS:
+						if msg.Val != op.Exp {
+							continue // handled as plain read below for CAS
+						}
+						vW = op.New
+					}
+					nextM := n.m.Clone()
+					nextM.RMW(tid, msg, vW)
+					if emit(t, lang.RMWLab(op.Loc, msg.Val, vW), nextM) {
+						res.Explored = store.Len()
+						res.WeakStates = len(weak)
+						return res, nil
+					}
+				}
+				if op.Kind == prog.OpCAS {
+					// Failed CAS: a plain read of any value ≠ Exp
+					// (Figure 2). Unlike the RMW case, any readable
+					// message qualifies.
+					for _, msg := range n.m.ReadCandidates(tid, op.Loc) {
+						if msg.Val == op.Exp {
+							continue
+						}
+						nextM := n.m.Clone()
+						nextM.Read(tid, msg)
+						if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
+							res.Explored = store.Len()
+							res.WeakStates = len(weak)
+							return res, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	res.Explored = store.Len()
+	res.WeakStates = len(weak)
+	return res, nil
+}
