@@ -119,6 +119,45 @@ func BenchmarkTSO(b *testing.B) {
 	}
 }
 
+// BenchmarkParallel sweeps the worker count over medium Figure 7 rows and
+// one large generated row — the scaling curve of the parallel exploration
+// engine. workers=1 is the sequential reference path (no engine, no
+// sharded store); the speedup at 4 workers is the tentpole number, and is
+// only meaningful on a machine with ≥4 cores (on a single-core box every
+// worker count degenerates to a slightly slower sequential run).
+// ticketlock-n5 is the headline row: the Figure 7 ticketlock family at 5
+// threads × 2 acquisitions, ~1.1M instrumented states — well past the
+// point where per-worker scratch and sharded interning pay.
+func BenchmarkParallel(b *testing.B) {
+	for _, name := range []string{"peterson-ra", "seqlock", "ticketlock4", "lamport2-ra"} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", name, w), func(b *testing.B) {
+				benchVerify(b, name, core.Options{AbstractVals: true, Workers: w})
+			})
+		}
+	}
+	big := parser.MustParse(litmus.TicketlockSrc(5, 2))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ticketlock-n5/w%d", w), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("~2.5s per run; run without -short")
+			}
+			var states int
+			for i := 0; i < b.N; i++ {
+				v, err := core.Verify(big, core.Options{AbstractVals: true, HashCompact: true, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !v.Robust {
+					b.Fatal("ticketlock n=5 unexpectedly non-robust")
+				}
+				states = v.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
 // BenchmarkAblationValues compares the §5.1 abstract value management
 // against full value tracking on the rows where the paper highlights the
 // difference (ticketlock4: ~9× in the paper) and on a few controls.

@@ -15,14 +15,19 @@
 //	-full         disable the §5.1 abstract value management (ablation)
 //	-hashcompact  store 128-bit state hashes instead of full encodings
 //	-max N        abort after N states (0 = unbounded)
+//	-workers N    parallel exploration workers (0 = all cores, 1 = sequential)
 //	-trace        print the counterexample SC run on violations
 //	-q            print only the verdict line
+//	-cpuprofile f write a CPU profile to f (go tool pprof)
+//	-memprofile f write a heap profile to f on exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/lang"
@@ -30,17 +35,50 @@ import (
 	"repro/internal/parser"
 )
 
+// main delegates to run so that the profiling defers flush on every exit
+// path (os.Exit skips deferred calls).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
 	model := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")
 	hashCompact := flag.Bool("hashcompact", false, "hash-compact visited set")
 	maxStates := flag.Int("max", 0, "state bound (0 = unbounded)")
+	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
 	trace := flag.Bool("trace", true, "print counterexample traces")
 	quiet := flag.Bool("q", false, "verdict line only")
 	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
 	list := flag.Bool("list", false, "list built-in corpus programs")
 	all := flag.Bool("all", false, "verify the whole corpus and compare against the expected verdicts")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *all {
 		bad := 0
@@ -50,7 +88,7 @@ func main() {
 				continue
 			}
 			p := e.Program()
-			v, err := core.Verify(p, core.Options{AbstractVals: !*full})
+			v, err := core.Verify(p, core.Options{AbstractVals: !*full, Workers: *workers})
 			if err != nil {
 				fatal(err)
 			}
@@ -66,9 +104,9 @@ func main() {
 			fmt.Printf("%-22s %s %-9s %8d states %12v\n", e.Name, res, status, v.States, v.Elapsed.Round(100000))
 		}
 		if bad > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
@@ -79,7 +117,7 @@ func main() {
 			}
 			fmt.Printf("%-22s %s  (%d threads)\n", e.Name, mark, e.Program().NumThreads())
 		}
-		return
+		return 0
 	}
 
 	var program *lang.Program
@@ -101,7 +139,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: rocker [flags] file.lit | rocker -corpus name | rocker -list")
-		os.Exit(2)
+		return 2
 	}
 
 	m := core.ModelRA
@@ -117,6 +155,7 @@ func main() {
 		AbstractVals: !*full,
 		HashCompact:  *hashCompact,
 		MaxStates:    *maxStates,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -138,8 +177,9 @@ func main() {
 		fmt.Printf("  instrumentation: %d bits of metadata (§5.1)\n", v.MetadataBits)
 	}
 	if !v.Robust {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func indexLine(s, prefix string) int {

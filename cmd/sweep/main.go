@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sweep [-maxthreads N] [-rounds N] [-lamport]
+//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	maxThreads := flag.Int("maxthreads", 5, "largest thread count")
 	rounds := flag.Int("rounds", 2, "acquisitions per thread")
 	withLamport := flag.Bool("lamport", false, "include the Lamport sweep (minutes at 3 threads)")
+	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
@@ -35,7 +36,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true})
+		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", name, err)
 			return
@@ -44,7 +45,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", name, "unexpectedly non-robust")
 			return
 		}
-		sc, err := core.VerifySC(p, core.Options{})
+		sc, err := core.VerifySC(p, core.Options{Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", name, err)
 			return

@@ -11,10 +11,19 @@
 // program may be verified with SC-only techniques. A NonRobust verdict
 // comes with a counterexample trace: an SC run to a state from which an RA
 // execution graph can diverge from all SC ones.
+//
+// Exploration is parallel by default (Options.Workers): robustness
+// checking is embarrassingly parallel at the state level, since the
+// Theorem 5.3 conditions are evaluated per state against the read-only
+// monitor. Workers share a sharded visited set and hand the frontier off
+// in batches (see internal/explore); Workers = 1 runs the sequential
+// reference implementation, against which the parallel engine's verdicts
+// and full-run state counts are pinned by tests.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -59,11 +68,24 @@ type Options struct {
 	// negligible, but the exact mode is the default and is used by all
 	// correctness tests).
 	HashCompact bool
+	// Workers sets the number of parallel exploration workers: 0 uses
+	// GOMAXPROCS, 1 forces the sequential reference implementation.
+	// Verdicts are worker-count-independent; on full (robust) runs so is
+	// the state count. Only counterexample traces may differ.
+	Workers int
 }
 
 // DefaultOptions returns the standard configuration (abstract values on,
-// no state bound, exact visited set).
+// no state bound, exact visited set, parallel exploration).
 func DefaultOptions() Options { return Options{AbstractVals: true} }
+
+// workerCount resolves Options.Workers to an actual worker count.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Verdict is the result of a robustness verification run.
 type Verdict struct {
@@ -77,7 +99,8 @@ type Verdict struct {
 	// AssertFail reports a failed user assertion, if any.
 	AssertFail *prog.AssertFailure
 	// Trace is an SC run (sequence of thread-labelled memory actions)
-	// leading to the first violating state.
+	// leading to a violating state (the first found; a shortest one under
+	// Workers = 1).
 	Trace []explore.Step
 	// States is the number of distinct ⟨program, SCM⟩ states explored.
 	States int
@@ -90,80 +113,17 @@ type Verdict struct {
 // ErrStateBound is returned when MaxStates is exceeded.
 var ErrStateBound = fmt.Errorf("core: state bound exceeded")
 
-// visited is the deduplicating state store: either exact (full encodings)
-// or hash-compacted (two independent 64-bit FNV-style hashes).
-type visited struct {
-	exact  map[string]int32
-	hashed map[[2]uint64]int32
-	parent []int32
-	step   []explore.Step
+// verifier bundles the immutable per-run machinery shared by the
+// sequential and parallel paths: the compiled program, the monitor (both
+// read-only during exploration, so workers share them), and the
+// racy-state flag.
+type verifier struct {
+	p     *prog.P
+	mon   *scm.Monitor
+	hasNA bool
 }
 
-func newVisited(hashCompact bool) *visited {
-	v := &visited{}
-	if hashCompact {
-		v.hashed = make(map[[2]uint64]int32)
-	} else {
-		v.exact = make(map[string]int32)
-	}
-	return v
-}
-
-func hash128(b []byte) [2]uint64 {
-	const (
-		off1 = 14695981039346656037
-		pr1  = 1099511628211
-		off2 = 0x9e3779b97f4a7c15
-		pr2  = 0xff51afd7ed558ccd
-	)
-	h1, h2 := uint64(off1), uint64(off2)
-	for _, c := range b {
-		h1 = (h1 ^ uint64(c)) * pr1
-		h2 = (h2 ^ uint64(c)) * pr2
-	}
-	return [2]uint64{h1, h2}
-}
-
-// add interns the encoding, returning (id, isNew).
-func (v *visited) add(key []byte, parent int32, step explore.Step) (int32, bool) {
-	if v.exact != nil {
-		if id, ok := v.exact[string(key)]; ok {
-			return id, false
-		}
-		id := int32(len(v.parent))
-		v.exact[string(key)] = id
-		v.parent = append(v.parent, parent)
-		v.step = append(v.step, step)
-		return id, true
-	}
-	h := hash128(key)
-	if id, ok := v.hashed[h]; ok {
-		return id, false
-	}
-	id := int32(len(v.parent))
-	v.hashed[h] = id
-	v.parent = append(v.parent, parent)
-	v.step = append(v.step, step)
-	return id, true
-}
-
-func (v *visited) len() int { return len(v.parent) }
-
-func (v *visited) trace(id int32) []explore.Step {
-	var rev []explore.Step
-	for id >= 0 && v.parent[id] >= 0 {
-		rev = append(rev, v.step[id])
-		id = v.parent[id]
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
-}
-
-// Verify decides execution-graph robustness of the program against RA.
-func Verify(program *lang.Program, opts Options) (*Verdict, error) {
-	start := time.Now()
+func newVerifier(program *lang.Program, opts Options) (*verifier, error) {
 	if err := program.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,78 +142,108 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	mon := scm.NewMonitor(program.NumThreads(), program.NumLocs(), program.ValCount, crit, na)
 	mon.SRA = opts.Model == ModelSRA
+	return &verifier{p: p, mon: mon, hasNA: hasNA}, nil
+}
 
-	verdict := &Verdict{Robust: true, MetadataBits: mon.Bits()}
+// scratch is the per-worker decode/expansion state: a reusable program
+// state (register slices included), current and successor monitor states,
+// and the encode buffer. The sequential path uses a single instance.
+type scratch struct {
+	cur    prog.State
+	curMS  scm.State
+	nextMS *scm.State
+	keyBuf []byte
+}
+
+func (v *verifier) newScratch(program *lang.Program) *scratch {
+	s := &scratch{nextMS: v.mon.Init()}
+	s.cur = prog.State{Threads: make([]prog.ThreadState, len(v.p.Threads))}
+	for i := range v.p.Threads {
+		s.cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+	}
+	return s
+}
+
+func (s *scratch) encode(v *verifier, ps prog.State, ms *scm.State) []byte {
+	s.keyBuf = s.keyBuf[:0]
+	s.keyBuf = v.p.EncodeState(s.keyBuf, ps)
+	s.keyBuf = v.mon.Encode(s.keyBuf, ms)
+	return s.keyBuf
+}
+
+// Verify decides execution-graph robustness of the program against RA.
+func Verify(program *lang.Program, opts Options) (*Verdict, error) {
+	if opts.workerCount() > 1 {
+		return verifyParallel(program, opts)
+	}
+	start := time.Now()
+	v, err := newVerifier(program, opts)
+	if err != nil {
+		return nil, err
+	}
+	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
 	finish := func() (*Verdict, error) {
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil
 	}
-	ps0, fail := p.InitState()
+	ps0, fail := v.p.InitState()
 	if fail != nil {
 		verdict.Robust = false
 		verdict.AssertFail = fail
 		return finish()
 	}
-	ms0 := mon.Init()
+	ms0 := v.mon.Init()
 
-	store := newVisited(opts.HashCompact)
+	var store *explore.Store
+	if opts.HashCompact {
+		store = explore.NewHashCompactStore()
+	} else {
+		store = explore.NewStore()
+	}
 	// The frontier holds packed state encodings (program state followed by
 	// SCM state) plus the store id; states are decoded on expansion. This
 	// keeps the BFS frontier at tens of bytes per state.
 	var queue explore.Queue[[]byte]
-	var keyBuf []byte
-	encode := func(ps prog.State, ms *scm.State) []byte {
-		keyBuf = keyBuf[:0]
-		keyBuf = p.EncodeState(keyBuf, ps)
-		keyBuf = mon.Encode(keyBuf, ms)
-		return keyBuf
-	}
-	root, _ := store.add(encode(ps0, ms0), -1, explore.Step{})
-	queue.Push(root, append([]byte(nil), keyBuf...))
+	ws := v.newScratch(program)
+	rootKey := ws.encode(v, ps0, ms0)
+	root, _ := store.AddBytes(rootKey, -1, explore.Step{})
+	queue.Push(root, append([]byte(nil), rootKey...))
 
-	report := func(id int32, v *scm.Violation) bool {
+	report := func(id int32, viol *scm.Violation) bool {
 		verdict.Robust = false
-		verdict.Violations = append(verdict.Violations, v)
+		verdict.Violations = append(verdict.Violations, viol)
 		if verdict.Trace == nil {
-			verdict.Trace = store.trace(id)
+			verdict.Trace = store.Trace(id)
 		}
 		return !opts.KeepAllViolations
 	}
-
-	// Reusable decode/expansion buffers.
-	cur := prog.State{Threads: make([]prog.ThreadState, len(p.Threads))}
-	for i := range p.Threads {
-		cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
-	}
-	var curMS scm.State
-	nextMS := mon.Init()
 
 	for {
 		item, ok := queue.Pop()
 		if !ok {
 			break
 		}
-		if opts.MaxStates > 0 && store.len() > opts.MaxStates {
-			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.len())
+		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
+			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
 		}
-		n := p.DecodeState(item.St, cur)
-		mon.Decode(item.St[n:], &curMS)
-		ops := p.Ops(cur)
+		n := v.p.DecodeState(item.St, ws.cur)
+		v.mon.Decode(item.St[n:], &ws.curMS)
+		ops := v.p.Ops(ws.cur)
 
 		// Theorem 5.3 conditions for every thread's pending operation.
 		for t := range ops {
-			if v := mon.CheckOp(&curMS, lang.Tid(t), ops[t]); v != nil {
-				if report(item.ID, v) {
-					verdict.States = store.len()
+			if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
+				if report(item.ID, viol) {
+					verdict.States = store.Len()
 					return finish()
 				}
 			}
 		}
 		// Definition 6.1 racy-state condition (§6).
-		if hasNA {
-			if v := mon.CheckRace(ops); v != nil {
-				if report(item.ID, v) {
-					verdict.States = store.len()
+		if v.hasNA {
+			if viol := v.mon.CheckRace(ops); viol != nil {
+				if report(item.ID, viol) {
+					verdict.States = store.Len()
 					return finish()
 				}
 			}
@@ -265,31 +255,31 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 			if op.Kind == prog.OpNone {
 				continue
 			}
-			label, enabled := prog.SCLabel(op, curMS.M[op.Loc], program.ValCount)
+			label, enabled := prog.SCLabel(op, ws.curMS.M[op.Loc], program.ValCount)
 			if !enabled {
 				continue // blocked wait/BCAS
 			}
-			nextTS, afail := p.Threads[t].Apply(cur.Threads[t], label)
+			nextTS, afail := v.p.Threads[t].Apply(ws.cur.Threads[t], label)
 			if afail != nil {
 				verdict.Robust = false
 				verdict.AssertFail = afail
-				verdict.Trace = append(store.trace(item.ID), explore.Step{Tid: lang.Tid(t), Lab: label})
-				verdict.States = store.len()
+				verdict.Trace = append(store.Trace(item.ID), explore.Step{Tid: lang.Tid(t), Lab: label})
+				verdict.States = store.Len()
 				return finish()
 			}
-			savedTS := cur.Threads[t]
-			cur.Threads[t] = nextTS
-			nextMS.CopyFrom(&curMS)
-			mon.Step(nextMS, lang.Tid(t), label)
-			key := encode(cur, nextMS)
-			cur.Threads[t] = savedTS
-			id, isNew := store.add(key, item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			savedTS := ws.cur.Threads[t]
+			ws.cur.Threads[t] = nextTS
+			ws.nextMS.CopyFrom(&ws.curMS)
+			v.mon.Step(ws.nextMS, lang.Tid(t), label)
+			key := ws.encode(v, ws.cur, ws.nextMS)
+			ws.cur.Threads[t] = savedTS
+			id, isNew := store.AddBytes(key, item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
 			if isNew {
 				queue.Push(id, append([]byte(nil), key...))
 			}
 		}
 	}
-	verdict.States = store.len()
+	verdict.States = store.Len()
 	return finish()
 }
 

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/memsc"
+	"repro/internal/prog"
+	"repro/internal/scm"
+)
+
+// verifyParallel is the multi-worker counterpart of Verify's exploration
+// loop: N workers expand frontier states concurrently against a sharded
+// visited set, each with private decode/expansion scratch (the compiled
+// program and the monitor are read-only after construction, so they are
+// shared). Frontier hand-off is batched through per-worker local buffers
+// (see explore.RunParallel), keeping the shared lock off the per-state
+// hot path.
+//
+// Determinism: on robust programs the full state space is explored, so
+// verdict and state count match the sequential path exactly. On
+// violations, any worker finding one cancels the search cooperatively;
+// which violating state is reported first (and hence the trace and the
+// partial state count) depends on scheduling, but whether a violation
+// exists does not, and the per-shard parent/step links always rebuild a
+// valid (not necessarily shortest) SC run to the reported state.
+func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
+	start := time.Now()
+	v, err := newVerifier(program, opts)
+	if err != nil {
+		return nil, err
+	}
+	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
+	finish := func() (*Verdict, error) {
+		verdict.Elapsed = time.Since(start)
+		return verdict, nil
+	}
+	ps0, fail := v.p.InitState()
+	if fail != nil {
+		verdict.Robust = false
+		verdict.AssertFail = fail
+		return finish()
+	}
+	ms0 := v.mon.Init()
+
+	workers := opts.workerCount()
+	store := explore.NewSharded(opts.HashCompact)
+	scratches := make([]*scratch, workers)
+	for w := range scratches {
+		scratches[w] = v.newScratch(program)
+	}
+	rootKey := scratches[0].encode(v, ps0, ms0)
+	rootID, _ := store.Add(rootKey, -1, explore.Step{})
+	roots := []explore.Item[[]byte]{{ID: rootID, St: append([]byte(nil), rootKey...)}}
+
+	// Shared result slots, written under mu by whichever worker finds a
+	// violation / assertion failure / bound overrun first.
+	var (
+		mu         sync.Mutex
+		violations []*scm.Violation
+		violID     int64
+		haveViol   bool
+		assertFail *prog.AssertFailure
+		assertID   int64
+		assertStep explore.Step
+		bound      bool
+	)
+	// record registers a violation; it returns false when the search
+	// should stop (the first violation, unless collecting all of them).
+	record := func(id int64, viol *scm.Violation) bool {
+		mu.Lock()
+		violations = append(violations, viol)
+		if !haveViol {
+			haveViol = true
+			violID = id
+		}
+		mu.Unlock()
+		return opts.KeepAllViolations
+	}
+
+	expand := func(w int, it explore.Item[[]byte], push func(explore.Item[[]byte])) bool {
+		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
+			mu.Lock()
+			bound = true
+			mu.Unlock()
+			return false
+		}
+		ws := scratches[w]
+		n := v.p.DecodeState(it.St, ws.cur)
+		v.mon.Decode(it.St[n:], &ws.curMS)
+		ops := v.p.Ops(ws.cur)
+
+		for t := range ops {
+			if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
+				if !record(it.ID, viol) {
+					return false
+				}
+			}
+		}
+		if v.hasNA {
+			if viol := v.mon.CheckRace(ops); viol != nil {
+				if !record(it.ID, viol) {
+					return false
+				}
+			}
+		}
+
+		for t := range ops {
+			op := ops[t]
+			if op.Kind == prog.OpNone {
+				continue
+			}
+			label, enabled := prog.SCLabel(op, ws.curMS.M[op.Loc], program.ValCount)
+			if !enabled {
+				continue // blocked wait/BCAS
+			}
+			nextTS, afail := v.p.Threads[t].Apply(ws.cur.Threads[t], label)
+			if afail != nil {
+				mu.Lock()
+				if assertFail == nil {
+					assertFail = afail
+					assertID = it.ID
+					assertStep = explore.Step{Tid: lang.Tid(t), Lab: label}
+				}
+				mu.Unlock()
+				return false
+			}
+			savedTS := ws.cur.Threads[t]
+			ws.cur.Threads[t] = nextTS
+			ws.nextMS.CopyFrom(&ws.curMS)
+			v.mon.Step(ws.nextMS, lang.Tid(t), label)
+			key := ws.encode(v, ws.cur, ws.nextMS)
+			ws.cur.Threads[t] = savedTS
+			id, isNew := store.Add(key, it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			if isNew {
+				push(explore.Item[[]byte]{ID: id, St: append([]byte(nil), key...)})
+			}
+		}
+		return true
+	}
+
+	explore.RunParallel(workers, roots, expand)
+	// Workers have quiesced: the shared slots and the store are stable.
+	verdict.States = store.Len()
+	if bound {
+		return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
+	}
+	if assertFail != nil {
+		verdict.Robust = false
+		verdict.AssertFail = assertFail
+		verdict.Trace = append(store.Trace(assertID), assertStep)
+	}
+	if len(violations) > 0 {
+		verdict.Robust = false
+		verdict.Violations = violations
+		if verdict.Trace == nil {
+			verdict.Trace = store.Trace(violID)
+		}
+	}
+	return finish()
+}
+
+// verifySCParallel mirrors VerifySC on the parallel engine: plain SC
+// product exploration (assertion checking only), frontier items carrying
+// the packed ⟨program state, SC memory⟩ encoding.
+func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
+	start := time.Now()
+	if err := program.Validate(); err != nil {
+		return nil, err
+	}
+	p := prog.New(program)
+	verdict := &SCVerdict{}
+	ps0, fail := p.InitState()
+	if fail != nil {
+		verdict.AssertFail = fail
+		verdict.Elapsed = time.Since(start)
+		return verdict, nil
+	}
+
+	workers := opts.workerCount()
+	store := explore.NewSharded(opts.HashCompact)
+	type scScratch struct {
+		cur    prog.State
+		mem    memsc.Memory
+		keyBuf []byte
+	}
+	scratches := make([]*scScratch, workers)
+	for w := range scratches {
+		ws := &scScratch{mem: memsc.New(program.NumLocs())}
+		ws.cur = prog.State{Threads: make([]prog.ThreadState, program.NumThreads())}
+		for i := range ws.cur.Threads {
+			ws.cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+		}
+		scratches[w] = ws
+	}
+	encode := func(ws *scScratch, ps prog.State, m memsc.Memory) []byte {
+		ws.keyBuf = ws.keyBuf[:0]
+		ws.keyBuf = p.EncodeState(ws.keyBuf, ps)
+		ws.keyBuf = m.Encode(ws.keyBuf)
+		return ws.keyBuf
+	}
+
+	var (
+		mu         sync.Mutex
+		assertFail *prog.AssertFailure
+		bound      bool
+	)
+	m0 := memsc.New(program.NumLocs())
+	rootKey := encode(scratches[0], ps0, m0)
+	rootID, _ := store.Add(rootKey, -1, explore.Step{})
+	roots := []explore.Item[[]byte]{{ID: rootID, St: append([]byte(nil), rootKey...)}}
+
+	expand := func(w int, it explore.Item[[]byte], push func(explore.Item[[]byte])) bool {
+		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
+			mu.Lock()
+			bound = true
+			mu.Unlock()
+			return false
+		}
+		ws := scratches[w]
+		n := p.DecodeState(it.St, ws.cur)
+		for i := range ws.mem {
+			ws.mem[i] = lang.Val(it.St[n+i])
+		}
+		ops := p.Ops(ws.cur)
+		for t := range ops {
+			op := ops[t]
+			if op.Kind == prog.OpNone {
+				continue
+			}
+			label, enabled := prog.SCLabel(op, ws.mem[op.Loc], program.ValCount)
+			if !enabled {
+				continue
+			}
+			nextTS, afail := p.Threads[t].Apply(ws.cur.Threads[t], label)
+			if afail != nil {
+				mu.Lock()
+				if assertFail == nil {
+					assertFail = afail
+				}
+				mu.Unlock()
+				return false
+			}
+			savedTS := ws.cur.Threads[t]
+			savedVal := ws.mem[op.Loc]
+			ws.cur.Threads[t] = nextTS
+			ws.mem.Step(label)
+			key := encode(ws, ws.cur, ws.mem)
+			ws.cur.Threads[t] = savedTS
+			ws.mem[op.Loc] = savedVal
+			if id, isNew := store.Add(key, -1, explore.Step{}); isNew {
+				push(explore.Item[[]byte]{ID: id, St: append([]byte(nil), key...)})
+			}
+		}
+		return true
+	}
+
+	explore.RunParallel(workers, roots, expand)
+	verdict.States = store.Len()
+	verdict.AssertFail = assertFail
+	if bound {
+		return nil, ErrStateBound
+	}
+	verdict.Elapsed = time.Since(start)
+	return verdict, nil
+}

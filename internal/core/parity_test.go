@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/staterobust"
+)
+
+// TestParallelParity checks the tentpole determinism claim: the parallel
+// engine returns the same verdict as the sequential reference path on
+// every corpus program, at every worker count, and — on robust programs,
+// where the run is a full exploration — the exact same state count. On
+// non-robust programs workers race to the first counterexample, so only
+// the verdict (and the validity of the reported trace) is compared.
+func TestParallelParity(t *testing.T) {
+	for _, e := range litmus.All() {
+		if e.Big {
+			continue
+		}
+		p := e.Program()
+		seq, err := core.Verify(p, core.Options{AbstractVals: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			par, err := core.Verify(p, core.Options{AbstractVals: true, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", e.Name, w, err)
+			}
+			if par.Robust != seq.Robust {
+				t.Errorf("%s workers=%d: Robust=%v, sequential says %v",
+					e.Name, w, par.Robust, seq.Robust)
+				continue
+			}
+			if seq.Robust && par.States != seq.States {
+				t.Errorf("%s workers=%d: States=%d, sequential counted %d",
+					e.Name, w, par.States, seq.States)
+			}
+			if !par.Robust {
+				// The parallel trace need not match the sequential one (or
+				// be shortest), but it must exist and FormatTrace must
+				// accept it — a replay of every step against the program.
+				if len(par.Violations) == 0 && par.AssertFail == nil {
+					t.Errorf("%s workers=%d: non-robust verdict with no violation", e.Name, w)
+				}
+				if len(par.Trace) == 0 {
+					t.Errorf("%s workers=%d: non-robust verdict with empty trace", e.Name, w)
+				} else if out := core.FormatTrace(p, par.Trace); out == "" {
+					t.Errorf("%s workers=%d: FormatTrace rejected the parallel trace", e.Name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelParityHashCompact repeats the parity check with the
+// hash-compacted sharded store on a few medium rows, where a digest
+// collision or a sharding bug would shrink the count.
+func TestParallelParityHashCompact(t *testing.T) {
+	for _, name := range []string{"peterson-ra", "ticketlock", "seqlock", "lamport2-ra"} {
+		if testing.Short() && name == "lamport2-ra" {
+			continue
+		}
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		seq, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Robust != seq.Robust || par.States != seq.States {
+			t.Errorf("%s: parallel hashcompact (robust=%v states=%d) vs sequential (robust=%v states=%d)",
+				name, par.Robust, par.States, seq.Robust, seq.States)
+		}
+	}
+}
+
+// TestParallelParitySC checks the plain-SC explorer's parallel path the
+// same way: full runs (no assertion failure) must agree exactly.
+func TestParallelParitySC(t *testing.T) {
+	for _, e := range litmus.All() {
+		if e.Big {
+			continue
+		}
+		p := e.Program()
+		seq, err := core.VerifySC(p, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.VerifySC(p, core.Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if (par.AssertFail == nil) != (seq.AssertFail == nil) {
+			t.Errorf("%s: parallel AssertFail=%v, sequential %v",
+				e.Name, par.AssertFail, seq.AssertFail)
+			continue
+		}
+		if seq.AssertFail == nil && par.States != seq.States {
+			t.Errorf("%s: SC parallel States=%d, sequential %d", e.Name, par.States, seq.States)
+		}
+	}
+}
+
+// TestParallelParityMaxStates checks that the state bound still trips in
+// parallel mode. Workers race past the bound by up to a batch each, so
+// only the error, not the exact count, is compared.
+func TestParallelParityMaxStates(t *testing.T) {
+	e, err := litmus.Get("ticketlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Program()
+	_, err = core.Verify(p, core.Options{AbstractVals: true, MaxStates: 100, Workers: 4})
+	if !errors.Is(err, core.ErrStateBound) {
+		t.Fatalf("bounded parallel run: err = %v, want ErrStateBound", err)
+	}
+}
+
+// TestStateRobustParallelParity checks the ported RA state-robustness
+// explorer: worker count must not change any verdict or the weak-state
+// census (the weak set is a fixpoint, so it is schedule-independent even
+// on non-robust rows that stop at the first witness — the witness search
+// only runs after the full SC set is known).
+func TestStateRobustParallelParity(t *testing.T) {
+	for _, name := range []string{"SB", "MP", "2RMW", "barrier", "peterson-sc"} {
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		lim := staterobust.Limits{MaxStates: 3_000_000}
+		lim.Workers = 1
+		seq, err := staterobust.CheckRA(p, lim)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lim.Workers = 4
+		par, err := staterobust.CheckRA(p, lim)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if par.Robust != seq.Robust {
+			t.Errorf("%s: parallel Robust=%v, sequential %v", name, par.Robust, seq.Robust)
+		}
+		if seq.Robust && par.WeakStates != seq.WeakStates {
+			t.Errorf("%s: parallel WeakStates=%d, sequential %d",
+				name, par.WeakStates, seq.WeakStates)
+		}
+	}
+}

@@ -23,7 +23,13 @@ type SCVerdict struct {
 // consistency, checking only user assertions. This is the paper's "SC"
 // comparison column in Figure 7: the cost of ordinary SC model checking,
 // against which the robustness instrumentation's overhead is measured.
+//
+// Like Verify, it explores in parallel when Options.Workers resolves to
+// more than one worker; Workers = 1 is the sequential reference path.
 func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
+	if opts.workerCount() > 1 {
+		return verifySCParallel(program, opts)
+	}
 	start := time.Now()
 	if err := program.Validate(); err != nil {
 		return nil, err
@@ -36,7 +42,12 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil
 	}
-	store := newVisited(opts.HashCompact)
+	var store *explore.Store
+	if opts.HashCompact {
+		store = explore.NewHashCompactStore()
+	} else {
+		store = explore.NewStore()
+	}
 	type node struct {
 		ps prog.State
 		m  memsc.Memory
@@ -50,12 +61,12 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		return keyBuf
 	}
 	m0 := memsc.New(program.NumLocs())
-	store.add(encode(ps0, m0), -1, explore.Step{})
+	store.AddBytes(encode(ps0, m0), -1, explore.Step{})
 	queue = append(queue, node{ps0, m0})
 	for len(queue) > 0 {
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if opts.MaxStates > 0 && store.len() > opts.MaxStates {
+		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, ErrStateBound
 		}
 		ops := p.Ops(n.ps)
@@ -71,7 +82,7 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 			nextTS, afail := p.Threads[t].Apply(n.ps.Threads[t], label)
 			if afail != nil {
 				verdict.AssertFail = afail
-				verdict.States = store.len()
+				verdict.States = store.Len()
 				verdict.Elapsed = time.Since(start)
 				return verdict, nil
 			}
@@ -79,12 +90,12 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 			nextPS.Threads[t] = nextTS
 			nextM := n.m.Clone()
 			nextM.Step(label)
-			if _, isNew := store.add(encode(nextPS, nextM), -1, explore.Step{}); isNew {
+			if _, isNew := store.AddBytes(encode(nextPS, nextM), -1, explore.Step{}); isNew {
 				queue = append(queue, node{nextPS, nextM})
 			}
 		}
 	}
-	verdict.States = store.len()
+	verdict.States = store.Len()
 	verdict.Elapsed = time.Since(start)
 	return verdict, nil
 }

@@ -1,10 +1,12 @@
 // Package explore provides the explicit-state search infrastructure shared
-// by the repository's model checkers: a visited-state store with parent
-// links for counterexample reconstruction, and a FIFO frontier. It plays
-// the role Spin plays for the paper's Rocker prototype — exhaustive
-// breadth-first exploration of a finite LTS with trace reporting — without
-// Spin's Promela front end, which this repository replaces with direct
-// in-process state generation.
+// by the repository's model checkers: visited-state stores with parent
+// links for counterexample reconstruction (sequential and sharded/
+// concurrent, exact and hash-compacted), a FIFO frontier, and a
+// work-sharing parallel search engine. It plays the role Spin plays for
+// the paper's Rocker prototype — exhaustive exploration of a finite LTS
+// with trace reporting — without Spin's Promela front end, which this
+// repository replaces with direct in-process state generation, and with
+// Spin's multi-core mode replaced by RunParallel over a Sharded store.
 package explore
 
 import "repro/internal/lang"
@@ -15,56 +17,6 @@ type Step struct {
 	Tid      lang.Tid
 	Lab      lang.Label
 	Internal string // non-empty for internal (non-program) actions
-}
-
-// Store interns canonical state encodings, assigning dense ids and
-// recording, for each state, the id of its BFS parent and the step taken
-// from it, so a shortest trace to any stored state can be rebuilt.
-type Store struct {
-	ids    map[string]int32
-	parent []int32
-	step   []Step
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{ids: make(map[string]int32)}
-}
-
-// Root interns the initial state (parent -1).
-func (s *Store) Root(key string) int32 {
-	id, _ := s.Add(key, -1, Step{})
-	return id
-}
-
-// Add interns a state encoding. It returns the state's id and whether the
-// state was new. Parent and step are recorded only for new states (BFS
-// guarantees the first visit is via a shortest path).
-func (s *Store) Add(key string, parent int32, step Step) (int32, bool) {
-	if id, ok := s.ids[key]; ok {
-		return id, false
-	}
-	id := int32(len(s.parent))
-	s.ids[key] = id
-	s.parent = append(s.parent, parent)
-	s.step = append(s.step, step)
-	return id, true
-}
-
-// Len returns the number of stored states.
-func (s *Store) Len() int { return len(s.parent) }
-
-// Trace reconstructs the steps from the root to state id.
-func (s *Store) Trace(id int32) []Step {
-	var rev []Step
-	for id >= 0 && s.parent[id] >= 0 {
-		rev = append(rev, s.step[id])
-		id = s.parent[id]
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
 }
 
 // Queue is a FIFO frontier of state payloads of type T paired with their

@@ -1,0 +1,82 @@
+package explore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// TestHash128Pinned pins the Hash128 digests. Hash-compact visited sets
+// key on these digests, so a silent change to the mixing scheme would
+// change hash-compact state counts (and, across versions, invalidate any
+// persisted hashes); this test makes such a change loud.
+func TestHash128Pinned(t *testing.T) {
+	pinned := []struct {
+		in   string
+		want [2]uint64
+	}{
+		{"", [2]uint64{0xf52a15e9a9b5e89b, 0xe220a8397b1dcdaf}},
+		{"a", [2]uint64{0x1c78eae69d17263a, 0x57ad1265cf3d8723}},
+		{"ab", [2]uint64{0xcec27675934ab532, 0x49191c46c3e415e4}},
+		{"abcdefg", [2]uint64{0x330b78e8fe06633f, 0xe299caeb06b56614}},
+		{"abcdefgh", [2]uint64{0xc29c095db14fd317, 0xdb7bb745846a6fa4}},
+		{"abcdefghi", [2]uint64{0x2f3f37e7b4e2a861, 0xa95653680e6231fd}},
+		{"The paper's Figure 7 rows", [2]uint64{0x67a9442e21a93e74, 0x6280f3e3a98e07cf}},
+		{"\x00", [2]uint64{0xaeb4d52ec76f044c, 0xbf3f4f385a0166dc}},
+		{"\x00\x00", [2]uint64{0xc87b664f9a00e582, 0x9b6a05b3c9289a7e}},
+	}
+	for _, tc := range pinned {
+		if got := explore.Hash128([]byte(tc.in)); got != tc.want {
+			t.Errorf("Hash128(%q) = {%#x, %#x}, want {%#x, %#x}",
+				tc.in, got[0], got[1], tc.want[0], tc.want[1])
+		}
+	}
+}
+
+// TestHash128Distinct exercises the inputs most likely to collide under a
+// sloppy word-at-a-time scheme: trailing zero bytes (the tail word is
+// zero-padded), single-byte differences in every word lane, and
+// state-encoding-sized buffers differing in one position.
+func TestHash128Distinct(t *testing.T) {
+	seen := map[[2]uint64]string{}
+	add := func(b []byte) {
+		h := explore.Hash128(b)
+		if prev, ok := seen[h]; ok && prev != string(b) {
+			t.Fatalf("collision: %q and %q both hash to {%#x, %#x}", prev, b, h[0], h[1])
+		}
+		seen[h] = string(b)
+	}
+	// Zero buffers of every length 0..64: only length distinguishes them.
+	for n := 0; n <= 64; n++ {
+		add(make([]byte, n))
+	}
+	// Single set byte at every position and a few values.
+	for pos := 0; pos < 40; pos++ {
+		for _, v := range []byte{1, 0x80, 0xff} {
+			b := make([]byte, 40)
+			b[pos] = v
+			add(b)
+		}
+	}
+	// All 1- and 2-byte strings over a small alphabet.
+	for a := 0; a < 256; a++ {
+		add([]byte{byte(a)})
+		add([]byte{byte(a), byte(a ^ 0x55)})
+	}
+}
+
+func BenchmarkHash128(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i * 131)
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				explore.Hash128(buf)
+			}
+		})
+	}
+}

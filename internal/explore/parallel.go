@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Item pairs a Sharded-store id with a frontier payload.
+type Item[T any] struct {
+	ID int64
+	St T
+}
+
+// Expand processes one frontier item on behalf of worker w: decode the
+// payload, run the per-state checks, and hand each newly-interned
+// successor to push. Returning false cancels the whole search
+// cooperatively (violation found, state bound exceeded, ...).
+//
+// Expand is called concurrently from every worker; w indexes any
+// per-worker scratch state the caller keeps. Items pushed by one worker
+// may be expanded by any other.
+type Expand[T any] func(w int, it Item[T], push func(Item[T])) bool
+
+// batchSize is the unit of frontier hand-off: workers accumulate newly
+// discovered states in a local buffer and publish them to the shared
+// frontier a batch at a time, and likewise claim work a batch at a time,
+// so the shared lock is taken twice per ~64 states rather than twice per
+// state.
+const batchSize = 64
+
+// RunParallel explores the state space spanned by roots with the given
+// number of workers (0 or negative: GOMAXPROCS). The caller interns roots
+// in its store before calling (they are expanded like any other item).
+// It returns true when the frontier was exhausted and false when some
+// Expand call cancelled the search.
+//
+// The exploration order is batched LIFO, not strict BFS: on a full run
+// every reachable state is expanded exactly once (assuming the caller's
+// push discipline: push each state exactly once, when its store Add
+// reports it new), so full-run results — verdicts, state counts — are
+// deterministic and worker-count-independent. Cancelled runs stop at a
+// nondeterministic frontier cut; only which counterexample is found may
+// vary, never whether one exists.
+func RunParallel[T any](workers int, roots []Item[T], expand Expand[T]) bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &engine[T]{}
+	e.cond = sync.NewCond(&e.mu)
+	if len(roots) > 0 {
+		e.batches = append(e.batches, roots)
+		e.pending = len(roots)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.work(w, expand)
+		}(w)
+	}
+	wg.Wait()
+	return !e.stop.Load()
+}
+
+type engine[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches [][]Item[T]
+	// pending counts items that are on the frontier or claimed by a worker
+	// and not yet fully expanded; the search is over when it reaches zero.
+	pending int
+	stop    atomic.Bool
+}
+
+func (e *engine[T]) work(w int, expand Expand[T]) {
+	out := make([]Item[T], 0, batchSize)
+	push := func(it Item[T]) {
+		out = append(out, it)
+		if len(out) >= batchSize {
+			e.inject(out)
+			out = make([]Item[T], 0, batchSize)
+		}
+	}
+	for {
+		batch := e.take()
+		if batch == nil {
+			return
+		}
+		for _, it := range batch {
+			if e.stop.Load() {
+				break
+			}
+			if !expand(w, it, push) {
+				e.cancel()
+				break
+			}
+		}
+		if handedOff := e.finish(len(batch), out); handedOff {
+			out = make([]Item[T], 0, batchSize)
+		}
+	}
+}
+
+// take claims one batch of frontier items, blocking while the frontier is
+// empty but other workers still hold unexpanded items (which may yet
+// produce more). It returns nil when the search is over.
+func (e *engine[T]) take() []Item[T] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stop.Load() || e.pending <= 0 {
+			return nil
+		}
+		if n := len(e.batches); n > 0 {
+			b := e.batches[n-1]
+			e.batches = e.batches[:n-1]
+			return b
+		}
+		e.cond.Wait()
+	}
+}
+
+// inject publishes a full local out-buffer mid-batch.
+func (e *engine[T]) inject(b []Item[T]) {
+	e.mu.Lock()
+	if !e.stop.Load() {
+		e.batches = append(e.batches, b)
+		e.pending += len(b)
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// finish retires a processed batch, publishing any remaining out-buffer in
+// the same critical section. It reports whether out was handed off (the
+// worker must then stop reusing it).
+func (e *engine[T]) finish(processed int, out []Item[T]) bool {
+	e.mu.Lock()
+	handedOff := false
+	if len(out) > 0 && !e.stop.Load() {
+		e.batches = append(e.batches, out)
+		e.pending += len(out)
+		handedOff = true
+	}
+	e.pending -= processed
+	if e.pending <= 0 || e.stop.Load() {
+		e.cond.Broadcast()
+	} else if handedOff {
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+	return handedOff
+}
+
+// cancel requests cooperative termination: workers observe the flag
+// between items and drain.
+func (e *engine[T]) cancel() {
+	e.stop.Store(true)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}

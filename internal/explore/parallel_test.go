@@ -1,0 +1,179 @@
+package explore_test
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+// TestShardedDedup checks that concurrent Adds of an overlapping key set
+// intern each key exactly once, in both exact and hash-compact modes.
+func TestShardedDedup(t *testing.T) {
+	for _, hc := range []bool{false, true} {
+		s := explore.NewSharded(hc)
+		const keys, goroutines = 5000, 8
+		var added atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				buf := make([]byte, 8)
+				for i := 0; i < keys; i++ {
+					// Each goroutine visits every key, in a different order.
+					k := (i*(g+1) + g) % keys
+					binary.LittleEndian.PutUint64(buf, uint64(k))
+					if _, isNew := s.Add(buf, -1, explore.Step{}); isNew {
+						added.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if s.Len() != keys || added.Load() != keys {
+			t.Errorf("hashCompact=%v: Len=%d, isNew count=%d, want %d both",
+				hc, s.Len(), added.Load(), keys)
+		}
+	}
+}
+
+// TestShardedTrace interns a chain and checks the parent links rebuild it.
+func TestShardedTrace(t *testing.T) {
+	s := explore.NewSharded(false)
+	id, _ := s.Add([]byte("root"), -1, explore.Step{})
+	var steps []explore.Step
+	for i := 0; i < 20; i++ {
+		st := explore.Step{Tid: lang.Tid(i % 3), Lab: lang.WriteLab(0, lang.Val(i%4))}
+		steps = append(steps, st)
+		id, _ = s.Add([]byte{byte(i)}, id, st)
+	}
+	got := s.Trace(id)
+	if len(got) != len(steps) {
+		t.Fatalf("trace length %d, want %d", len(got), len(steps))
+	}
+	for i := range steps {
+		if got[i] != steps[i] {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, got[i], steps[i])
+		}
+	}
+}
+
+// syntheticExpand explores the graph over [0, n): state k has successors
+// 2k+1 and 2k+2 (a binary tree with sharing disabled), which every worker
+// count must visit exactly once.
+func syntheticExpand(s *explore.Sharded, n int) explore.Expand[int] {
+	return func(w int, it explore.Item[int], push func(explore.Item[int])) bool {
+		for _, succ := range []int{2*it.St + 1, 2*it.St + 2} {
+			if succ >= n {
+				continue
+			}
+			var key [8]byte
+			binary.LittleEndian.PutUint64(key[:], uint64(succ))
+			if id, isNew := s.Add(key[:], it.ID, explore.Step{Tid: lang.Tid(succ % 3)}); isNew {
+				push(explore.Item[int]{ID: id, St: succ})
+			}
+		}
+		return true
+	}
+}
+
+// TestRunParallelVisitsAll checks that the engine expands every reachable
+// state exactly once for several worker counts, including counts far above
+// GOMAXPROCS.
+func TestRunParallelVisitsAll(t *testing.T) {
+	const n = 100_000
+	for _, workers := range []int{1, 2, 4, 16} {
+		s := explore.NewSharded(false)
+		rootID, _ := s.Add(make([]byte, 8), -1, explore.Step{}) // key of state 0
+		done := explore.RunParallel(workers, []explore.Item[int]{{ID: rootID, St: 0}}, syntheticExpand(s, n))
+		if !done {
+			t.Fatalf("workers=%d: search reported cancelled", workers)
+		}
+		if s.Len() != n {
+			t.Errorf("workers=%d: visited %d states, want %d", workers, s.Len(), n)
+		}
+	}
+}
+
+// TestRunParallelCancel checks cooperative cancellation: once any Expand
+// returns false, the search stops without deadlocking and reports it.
+func TestRunParallelCancel(t *testing.T) {
+	const n = 1 << 20
+	for _, workers := range []int{1, 4} {
+		s := explore.NewSharded(false)
+		rootID, _ := s.Add(make([]byte, 8), -1, explore.Step{}) // key of state 0
+		inner := syntheticExpand(s, n)
+		expand := func(w int, it explore.Item[int], push func(explore.Item[int])) bool {
+			if it.St == 4097 { // deep enough that real work precedes it
+				return false
+			}
+			return inner(w, it, push)
+		}
+		done := explore.RunParallel(workers, []explore.Item[int]{{ID: rootID, St: 0}}, expand)
+		if done {
+			t.Fatalf("workers=%d: cancelled search reported complete", workers)
+		}
+		if s.Len() >= n {
+			t.Errorf("workers=%d: cancellation did not cut the search (visited %d)", workers, s.Len())
+		}
+	}
+}
+
+// TestRunParallelTraceValid checks that on a cancelled parallel run the
+// parent links of the state that triggered cancellation rebuild a valid
+// path: every step's state was interned before its child (ids decrease
+// along no axis we can observe here, so validity is checked structurally
+// by re-walking the tree edges).
+func TestRunParallelTraceValid(t *testing.T) {
+	const n, target = 1 << 18, 100_003
+	s := explore.NewSharded(false)
+	rootID, _ := s.Add(make([]byte, 8), -1, explore.Step{}) // key of state 0
+	var foundID atomic.Int64
+	foundID.Store(-1)
+	inner := func(w int, it explore.Item[int], push func(explore.Item[int])) bool {
+		for _, succ := range []int{2*it.St + 1, 2*it.St + 2} {
+			if succ >= n {
+				continue
+			}
+			var key [8]byte
+			binary.LittleEndian.PutUint64(key[:], uint64(succ))
+			// Record the tree edge as the step's Tid/Lab payload: Internal
+			// carries the child index so the trace can be replayed.
+			st := explore.Step{Internal: string(key[:])}
+			if id, isNew := s.Add(key[:], it.ID, st); isNew {
+				if succ == target {
+					foundID.Store(id)
+					return false
+				}
+				push(explore.Item[int]{ID: id, St: succ})
+			}
+		}
+		return true
+	}
+	explore.RunParallel(4, []explore.Item[int]{{ID: rootID, St: 0}}, inner)
+	id := foundID.Load()
+	if id < 0 {
+		t.Fatal("target state never interned")
+	}
+	trace := s.Trace(id)
+	if len(trace) == 0 {
+		t.Fatal("empty trace to target")
+	}
+	// Replay: each step's recorded child must be a tree successor of the
+	// current node, ending at target.
+	cur := 0
+	for i, st := range trace {
+		child := int(binary.LittleEndian.Uint64([]byte(st.Internal)))
+		if child != 2*cur+1 && child != 2*cur+2 {
+			t.Fatalf("trace step %d: %d is not a successor of %d", i, child, cur)
+		}
+		cur = child
+	}
+	if cur != target {
+		t.Fatalf("trace ends at %d, want %d", cur, target)
+	}
+}

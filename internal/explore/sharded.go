@@ -1,0 +1,112 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded state ids pack (local index, shard) into an int64:
+// id = local<<shardBits | shard. 64 shards keep lock contention negligible
+// for any plausible worker count while the id stays comfortably inside
+// int64 for multi-billion-state runs.
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+)
+
+// Sharded is a concurrent visited-state store: the encoding's Hash128
+// digest selects one of 64 independently-locked shards, each an exact or
+// hash-compacted map plus per-state parent/step trace links. It is the
+// concurrent counterpart of Store, used by RunParallel-based explorers;
+// ids are int64 (packed shard + local index) rather than Store's dense
+// int32s.
+type Sharded struct {
+	hashCompact bool
+	count       atomic.Int64
+	shards      [numShards]shard
+}
+
+type shard struct {
+	mu     sync.Mutex
+	exact  map[string]int32
+	hashed map[[2]uint64]int32
+	parent []int64
+	step   []Step
+	_      [40]byte // pad shards apart to limit false sharing on mu
+}
+
+// NewSharded returns an empty sharded store, exact or hash-compacted.
+func NewSharded(hashCompact bool) *Sharded {
+	s := &Sharded{hashCompact: hashCompact}
+	for i := range s.shards {
+		if hashCompact {
+			s.shards[i].hashed = make(map[[2]uint64]int32)
+		} else {
+			s.shards[i].exact = make(map[string]int32)
+		}
+	}
+	return s
+}
+
+// Add interns a state encoding, returning its id and whether it was new.
+// Parent and step are recorded for new states only; in a concurrent
+// exploration the recorded parent is whichever arc interned the state
+// first — a valid (not necessarily shortest) path, since parents are
+// always already-interned states. The key is copied when stored, so
+// callers may reuse the backing buffer.
+func (s *Sharded) Add(key []byte, parent int64, step Step) (int64, bool) {
+	h := Hash128(key)
+	si := h[0] & shardMask
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	if s.hashCompact {
+		if local, ok := sh.hashed[h]; ok {
+			sh.mu.Unlock()
+			return int64(local)<<shardBits | int64(si), false
+		}
+		sh.hashed[h] = int32(len(sh.parent))
+	} else {
+		if local, ok := sh.exact[string(key)]; ok {
+			sh.mu.Unlock()
+			return int64(local)<<shardBits | int64(si), false
+		}
+		sh.exact[string(key)] = int32(len(sh.parent))
+	}
+	local := int64(len(sh.parent))
+	sh.parent = append(sh.parent, parent)
+	sh.step = append(sh.step, step)
+	sh.mu.Unlock()
+	s.count.Add(1)
+	return local<<shardBits | int64(si), true
+}
+
+// Len returns the number of stored states. It reads an atomic counter, so
+// it is cheap enough for per-expansion bound checks; during a run it may
+// trail in-flight Adds by a few states.
+func (s *Sharded) Len() int { return int(s.count.Load()) }
+
+// Trace reconstructs the steps from the root to state id by following the
+// recorded parent arcs. Every parent link points at an earlier-interned
+// state, so the walk terminates at the root; the result is a valid run,
+// though not necessarily a shortest one (concurrent exploration does not
+// preserve BFS level order).
+func (s *Sharded) Trace(id int64) []Step {
+	var rev []Step
+	for id >= 0 {
+		sh := &s.shards[id&shardMask]
+		local := id >> shardBits
+		sh.mu.Lock()
+		parent, step := sh.parent[local], sh.step[local]
+		sh.mu.Unlock()
+		if parent < 0 {
+			break
+		}
+		rev = append(rev, step)
+		id = parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,96 @@
+package explore
+
+// Store interns canonical state encodings, assigning dense ids and
+// recording, for each state, the id of its BFS parent and the step taken
+// from it, so a shortest trace to any stored state can be rebuilt.
+//
+// A store is either exact (keyed by the full encoding) or hash-compacted
+// (keyed by a 128-bit Hash128 digest — Spin's hashcompact mode). Hash
+// compaction cuts memory roughly 4× on large runs; a hash collision could
+// in principle prune a state (probability < n²·2⁻¹²⁸ for n states —
+// negligible, but the exact mode is the default and is used by all
+// correctness tests).
+type Store struct {
+	exact  map[string]int32
+	hashed map[[2]uint64]int32
+	parent []int32
+	step   []Step
+}
+
+// NewStore returns an empty exact store.
+func NewStore() *Store {
+	return &Store{exact: make(map[string]int32)}
+}
+
+// NewHashCompactStore returns an empty hash-compacted store.
+func NewHashCompactStore() *Store {
+	return &Store{hashed: make(map[[2]uint64]int32)}
+}
+
+// Root interns the initial state (parent -1).
+func (s *Store) Root(key string) int32 {
+	id, _ := s.Add(key, -1, Step{})
+	return id
+}
+
+// Add interns a state encoding. It returns the state's id and whether the
+// state was new. Parent and step are recorded only for new states (BFS
+// guarantees the first visit is via a shortest path).
+func (s *Store) Add(key string, parent int32, step Step) (int32, bool) {
+	if s.exact != nil {
+		if id, ok := s.exact[key]; ok {
+			return id, false
+		}
+		id := s.push(parent, step)
+		s.exact[key] = id
+		return id, true
+	}
+	return s.addHashed(Hash128([]byte(key)), parent, step)
+}
+
+// AddBytes is Add for a byte-slice key (the encoders' native type). The
+// key is only copied when the state is new and the store is exact, so
+// callers may reuse the backing buffer between calls.
+func (s *Store) AddBytes(key []byte, parent int32, step Step) (int32, bool) {
+	if s.exact != nil {
+		if id, ok := s.exact[string(key)]; ok { // no-alloc map probe
+			return id, false
+		}
+		id := s.push(parent, step)
+		s.exact[string(key)] = id
+		return id, true
+	}
+	return s.addHashed(Hash128(key), parent, step)
+}
+
+func (s *Store) addHashed(h [2]uint64, parent int32, step Step) (int32, bool) {
+	if id, ok := s.hashed[h]; ok {
+		return id, false
+	}
+	id := s.push(parent, step)
+	s.hashed[h] = id
+	return id, true
+}
+
+func (s *Store) push(parent int32, step Step) int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, parent)
+	s.step = append(s.step, step)
+	return id
+}
+
+// Len returns the number of stored states.
+func (s *Store) Len() int { return len(s.parent) }
+
+// Trace reconstructs the steps from the root to state id.
+func (s *Store) Trace(id int32) []Step {
+	var rev []Step
+	for id >= 0 && s.parent[id] >= 0 {
+		rev = append(rev, s.step[id])
+		id = s.parent[id]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,6 +1,9 @@
 package staterobust
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/memra"
@@ -49,6 +52,13 @@ func CheckSRA(program *lang.Program, lim Limits) (*Result, error) {
 	return checkWeakRA(program, lim, true)
 }
 
+// checkWeakRA runs on the shared parallel engine (explore.RunParallel over
+// an explore.Sharded visited set): frontier items carry the decoded
+// product state ⟨program state, RA memory⟩, workers share the read-only
+// compiled program and SC-reachable set, and the weak program-state set is
+// the only mutable shared structure beyond the store (a mutex-guarded map;
+// it is touched once per new compound state, so contention is off the
+// expansion hot path).
 func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 	scSet, err := ReachableSC(program, lim)
 	if err != nil {
@@ -63,60 +73,81 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 		ps prog.State
 		m  *memra.State
 	}
-	ps0 := p.InitStateRaw()
-	store := explore.NewStore()
-	var queue explore.Queue[node]
-	weak := map[string]struct{}{}
-	var buf []byte
-	key := func(ps prog.State, m *memra.State) string {
-		buf = buf[:0]
+	workers := lim.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	store := explore.NewSharded(false)
+	bufs := make([][]byte, workers)
+	key := func(w int, ps prog.State, m *memra.State) []byte {
+		buf := bufs[w][:0]
 		buf = p.EncodeStateRaw(buf, ps)
 		buf = m.Encode(buf)
-		return string(buf)
+		bufs[w] = buf
+		return buf
 	}
-	check := func(id int32, ps prog.State) bool {
+
+	var (
+		mu        sync.Mutex
+		weak      = map[string]struct{}{}
+		witnessID = int64(-1)
+		bound     bool
+	)
+	// check records the program state of a newly interned compound state
+	// and reports whether it witnesses non-robustness (reachable weakly
+	// but not under SC).
+	check := func(id int64, ps prog.State) bool {
 		pk := p.StateKeyRaw(ps)
-		if _, ok := weak[pk]; !ok {
-			weak[pk] = struct{}{}
-			if _, ok := scSet[pk]; !ok {
-				res.Robust = false
-				if res.WitnessTrace == nil {
-					res.WitnessTrace = store.Trace(id)
-				}
-				return true
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := weak[pk]; ok {
+			return false
+		}
+		weak[pk] = struct{}{}
+		if _, ok := scSet[pk]; !ok {
+			if witnessID < 0 {
+				witnessID = id
 			}
+			return true
 		}
 		return false
 	}
+
+	ps0 := p.InitStateRaw()
 	m0 := memra.New(program.NumLocs(), program.NumThreads())
-	root := store.Root(key(ps0, m0))
-	queue.Push(root, node{ps0, m0})
-	if check(root, ps0) {
+	for w := range bufs {
+		bufs[w] = make([]byte, 0, 64)
+	}
+	rootID, _ := store.Add(key(0, ps0, m0), -1, explore.Step{})
+	if check(rootID, ps0) {
+		res.Robust = false
+		res.WitnessTrace = store.Trace(rootID)
 		res.Explored = store.Len()
+		res.WeakStates = len(weak)
 		return res, nil
 	}
 
-	// successor applies one program step with the given label and RA
-	// memory effect, already performed on nextM.
-	for {
-		item, ok := queue.Pop()
-		if !ok {
-			break
-		}
+	expand := func(w int, it explore.Item[node], push func(explore.Item[node])) bool {
 		if store.Len() > lim.maxStates() {
-			return nil, ErrBound
+			mu.Lock()
+			bound = true
+			mu.Unlock()
+			return false
 		}
-		n := item.St
+		n := it.St
+		// emit interns one successor reached by a program step with the
+		// given label and RA memory effect (already performed on nextM);
+		// it reports whether the successor witnesses non-robustness.
 		emit := func(t int, label lang.Label, nextM *memra.State) bool {
 			nextPS := n.ps.Clone()
 			nextPS.Threads[t] = p.Threads[t].ApplyRaw(n.ps.Threads[t], label)
 			nextM.Canonicalize(gapCap)
-			id, isNew := store.Add(key(nextPS, nextM), item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			id, isNew := store.Add(key(w, nextPS, nextM), it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
 			if isNew {
 				if check(id, nextPS) {
 					return true
 				}
-				queue.Push(id, node{nextPS, nextM})
+				push(explore.Item[node]{ID: id, St: node{nextPS, nextM}})
 			}
 			return false
 		}
@@ -134,15 +165,13 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 				}
 				nextPS := n.ps.Clone()
 				nextPS.Threads[t] = nextTS
-				id, isNew := store.Add(key(nextPS, n.m), item.ID,
+				id, isNew := store.Add(key(w, nextPS, n.m), it.ID,
 					explore.Step{Tid: tid, Internal: "eps"})
 				if isNew {
 					if check(id, nextPS) {
-						res.Explored = store.Len()
-						res.WeakStates = len(weak)
-						return res, nil
+						return false
 					}
-					queue.Push(id, node{nextPS, n.m.Clone()})
+					push(explore.Item[node]{ID: id, St: node{nextPS, n.m.Clone()}})
 				}
 				continue
 			}
@@ -157,9 +186,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 					nextM := n.m.Clone()
 					nextM.Write(tid, op.Loc, op.WVal, slot)
 					if emit(t, lang.WriteLab(op.Loc, op.WVal), nextM) {
-						res.Explored = store.Len()
-						res.WeakStates = len(weak)
-						return res, nil
+						return false
 					}
 				}
 			case prog.OpRead, prog.OpWait:
@@ -170,9 +197,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 					nextM := n.m.Clone()
 					nextM.Read(tid, msg)
 					if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
-						res.Explored = store.Len()
-						res.WeakStates = len(weak)
-						return res, nil
+						return false
 					}
 				}
 			case prog.OpFADD, prog.OpXCHG, prog.OpCAS, prog.OpBCAS:
@@ -196,9 +221,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 					nextM := n.m.Clone()
 					nextM.RMW(tid, msg, vW)
 					if emit(t, lang.RMWLab(op.Loc, msg.Val, vW), nextM) {
-						res.Explored = store.Len()
-						res.WeakStates = len(weak)
-						return res, nil
+						return false
 					}
 				}
 				if op.Kind == prog.OpCAS {
@@ -212,16 +235,24 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 						nextM := n.m.Clone()
 						nextM.Read(tid, msg)
 						if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
-							res.Explored = store.Len()
-							res.WeakStates = len(weak)
-							return res, nil
+							return false
 						}
 					}
 				}
 			}
 		}
+		return true
 	}
+
+	explore.RunParallel(workers, []explore.Item[node]{{ID: rootID, St: node{ps0, m0}}}, expand)
 	res.Explored = store.Len()
 	res.WeakStates = len(weak)
+	if bound {
+		return nil, ErrBound
+	}
+	if witnessID >= 0 {
+		res.Robust = false
+		res.WitnessTrace = store.Trace(witnessID)
+	}
 	return res, nil
 }

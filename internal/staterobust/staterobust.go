@@ -44,6 +44,11 @@ type Limits struct {
 	// write instructions + 2), which is exact for programs whose loops do
 	// not grow the write count beyond it (see memra's package comment).
 	RAHeadroom int
+	// Workers sets the number of parallel exploration workers for the RA
+	// checker: 0 uses GOMAXPROCS, 1 explores sequentially. Verdicts and
+	// full-run state counts are worker-count-independent; only witness
+	// traces (and counts on non-robust early exits) may differ.
+	Workers int
 }
 
 func (l Limits) maxStates() int {
