@@ -36,6 +36,7 @@ func benchVerify(b *testing.B, name string, opts core.Options) {
 		b.Fatal(err)
 	}
 	p := e.Program()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var states int
 	for i := 0; i < b.N; i++ {
@@ -72,6 +73,7 @@ func BenchmarkSCOnly(b *testing.B) {
 		e := e
 		b.Run(e.Name, func(b *testing.B) {
 			p := e.Program()
+			b.ReportAllocs()
 			b.ResetTimer()
 			var states int
 			for i := 0; i < b.N; i++ {
@@ -105,6 +107,7 @@ func BenchmarkTSO(b *testing.B) {
 				b.Fatal(err)
 			}
 			p := e.Program()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := staterobust.CheckTSO(p, staterobust.Limits{MaxStates: 30_000_000, TSOBufCap: 4})
@@ -142,6 +145,7 @@ func BenchmarkParallel(b *testing.B) {
 			if testing.Short() {
 				b.Skip("~2.5s per run; run without -short")
 			}
+			b.ReportAllocs()
 			var states int
 			for i := 0; i < b.N; i++ {
 				v, err := core.Verify(big, core.Options{AbstractVals: true, HashCompact: true, Workers: w})
@@ -193,6 +197,7 @@ func BenchmarkAblationEpsGranular(b *testing.B) {
 	}
 	p := e.Program()
 	b.Run("compressed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.VerifySC(p, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -200,6 +205,7 @@ func BenchmarkAblationEpsGranular(b *testing.B) {
 		}
 	})
 	b.Run("granular", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := staterobust.ReachableSC(p, staterobust.Limits{MaxStates: 10_000_000}); err != nil {
 				b.Fatal(err)
@@ -228,6 +234,7 @@ func BenchmarkScaling(b *testing.B) {
 		src := litmus.SpinlockSrc(n, 1)
 		b.Run(fmt.Sprintf("spinlock-n%d", n), func(b *testing.B) {
 			p := parser.MustParse(src)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Verify(p, core.DefaultOptions()); err != nil {
 					b.Fatal(err)
@@ -239,6 +246,7 @@ func BenchmarkScaling(b *testing.B) {
 		src := litmus.TicketlockSrc(n, 1)
 		b.Run(fmt.Sprintf("ticketlock-n%d", n), func(b *testing.B) {
 			p := parser.MustParse(src)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Verify(p, core.DefaultOptions()); err != nil {
 					b.Fatal(err)
@@ -261,6 +269,7 @@ func BenchmarkEmitGenerate(b *testing.B) {
 				b.Fatal(err)
 			}
 			p := e.Program()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := emit.Generate(p, emit.Options{AbstractVals: true}); err != nil {
 					b.Fatal(err)

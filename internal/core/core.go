@@ -145,23 +145,57 @@ func newVerifier(program *lang.Program, opts Options) (*verifier, error) {
 	return &verifier{p: p, mon: mon, hasNA: hasNA}, nil
 }
 
-// scratch is the per-worker decode/expansion state: a reusable program
-// state (register slices included), current and successor monitor states,
-// and the encode buffer. The sequential path uses a single instance.
+// scratch is the per-worker decode/expansion state: a reusable current
+// program state and a successor state for the clone-free ApplyInto kernel
+// (register slices included), the pending-operation buffer, current and
+// successor monitor states, the encode buffer, a buffer for
+// re-materializing exact-mode frontier keys from the arena, and the
+// free list of recycled hash-compact frontier payloads. The sequential
+// path uses a single instance; with it, steady-state expansion performs no
+// heap allocation.
 type scratch struct {
 	cur    prog.State
+	nxt    prog.State
+	ops    []prog.MemOp
 	curMS  scm.State
 	nextMS *scm.State
 	keyBuf []byte
+	popBuf []byte
+	free   [][]byte
 }
 
 func (v *verifier) newScratch(program *lang.Program) *scratch {
-	s := &scratch{nextMS: v.mon.Init()}
+	s := &scratch{nextMS: v.mon.Init(), ops: make([]prog.MemOp, len(v.p.Threads))}
 	s.cur = prog.State{Threads: make([]prog.ThreadState, len(v.p.Threads))}
+	s.nxt = prog.State{Threads: make([]prog.ThreadState, len(v.p.Threads))}
 	for i := range v.p.Threads {
 		s.cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+		s.nxt.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
 	}
 	return s
+}
+
+// pushPayload returns the frontier payload for a newly interned state: nil
+// in exact mode (the queue carries only the id; bytes are re-materialized
+// from the store's arena on expansion) and a recycled copy of key in
+// hash-compact mode, where the store keeps no key bytes.
+func (s *scratch) pushPayload(hashCompact bool, key []byte) []byte {
+	if !hashCompact {
+		return nil
+	}
+	var buf []byte
+	if n := len(s.free); n > 0 {
+		buf = s.free[n-1][:0]
+		s.free = s.free[:n-1]
+	}
+	return append(buf, key...)
+}
+
+// recycle takes back an expanded hash-compact frontier payload.
+func (s *scratch) recycle(buf []byte) {
+	if buf != nil {
+		s.free = append(s.free, buf)
+	}
 }
 
 func (s *scratch) encode(v *verifier, ps prog.State, ms *scm.State) []byte {
@@ -200,14 +234,21 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	} else {
 		store = explore.NewStore()
 	}
-	// The frontier holds packed state encodings (program state followed by
-	// SCM state) plus the store id; states are decoded on expansion. This
-	// keeps the BFS frontier at tens of bytes per state.
+	// The frontier is zero-copy. In exact mode it is implicit: sequential
+	// BFS interns states in exactly the order it pops them, so the dense id
+	// sequence 0, 1, 2, ... IS the FIFO frontier — no queue exists at all,
+	// the visited store doubles as the frontier, and the packed encoding
+	// (program state followed by SCM state) is re-materialized from the
+	// store's arena on expansion. In hash-compact mode, where the store
+	// keeps no key bytes, a real queue carries payload copies whose buffers
+	// are recycled through a free list.
 	var queue explore.Queue[[]byte]
 	ws := v.newScratch(program)
 	rootKey := ws.encode(v, ps0, ms0)
 	root, _ := store.AddBytes(rootKey, -1, explore.Step{})
-	queue.Push(root, append([]byte(nil), rootKey...))
+	if opts.HashCompact {
+		queue.Push(root, ws.pushPayload(true, rootKey))
+	}
 
 	report := func(id int32, viol *scm.Violation) bool {
 		verdict.Robust = false
@@ -218,17 +259,29 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		return !opts.KeepAllViolations
 	}
 
+	next := int32(0)
 	for {
-		item, ok := queue.Pop()
-		if !ok {
-			break
+		var item explore.QItem[[]byte]
+		if opts.HashCompact {
+			var ok bool
+			if item, ok = queue.Pop(); !ok {
+				break
+			}
+		} else {
+			if int(next) >= store.Len() {
+				break
+			}
+			item = explore.QItem[[]byte]{ID: next, St: store.KeyBytes(next)}
+			next++
 		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
 		}
-		n := v.p.DecodeState(item.St, ws.cur)
-		v.mon.Decode(item.St[n:], &ws.curMS)
-		ops := v.p.Ops(ws.cur)
+		itemKey := item.St
+		n := v.p.DecodeState(itemKey, ws.cur)
+		v.mon.Decode(itemKey[n:], &ws.curMS)
+		ops := ws.ops
+		v.p.OpsInto(ops, ws.cur)
 
 		// Theorem 5.3 conditions for every thread's pending operation.
 		for t := range ops {
@@ -259,7 +312,7 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 			if !enabled {
 				continue // blocked wait/BCAS
 			}
-			nextTS, afail := v.p.Threads[t].Apply(ws.cur.Threads[t], label)
+			afail := v.p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
 			if afail != nil {
 				verdict.Robust = false
 				verdict.AssertFail = afail
@@ -268,15 +321,18 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 				return finish()
 			}
 			savedTS := ws.cur.Threads[t]
-			ws.cur.Threads[t] = nextTS
+			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.nextMS.CopyFrom(&ws.curMS)
 			v.mon.Step(ws.nextMS, lang.Tid(t), label)
 			key := ws.encode(v, ws.cur, ws.nextMS)
 			ws.cur.Threads[t] = savedTS
 			id, isNew := store.AddBytes(key, item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
-			if isNew {
-				queue.Push(id, append([]byte(nil), key...))
+			if isNew && opts.HashCompact {
+				queue.Push(id, ws.pushPayload(true, key))
 			}
+		}
+		if opts.HashCompact {
+			ws.recycle(item.St)
 		}
 	}
 	verdict.States = store.Len()
@@ -288,7 +344,7 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 func FormatTrace(program *lang.Program, trace []explore.Step) string {
 	var b strings.Builder
 	for i, s := range trace {
-		if s.Internal != "" {
+		if s.Internal != explore.IntNone {
 			fmt.Fprintf(&b, "%3d: %s\n", i+1, s.Internal)
 			continue
 		}

@@ -54,7 +54,12 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	rootKey := scratches[0].encode(v, ps0, ms0)
 	rootID, _ := store.Add(rootKey, -1, explore.Step{})
-	roots := []explore.Item[[]byte]{{ID: rootID, St: append([]byte(nil), rootKey...)}}
+	// Zero-copy frontier (see Verify): exact-mode items carry only the
+	// store id — the key is re-materialized from the shard's arena into
+	// per-worker scratch on expansion; hash-compact payload buffers are
+	// recycled through per-worker free lists (a buffer pushed by one worker
+	// and expanded by another simply migrates to the expander's list).
+	roots := []explore.Item[[]byte]{{ID: rootID, St: scratches[0].pushPayload(opts.HashCompact, rootKey)}}
 
 	// Shared result slots, written under mu by whichever worker finds a
 	// violation / assertion failure / bound overrun first.
@@ -89,9 +94,15 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 			return false
 		}
 		ws := scratches[w]
-		n := v.p.DecodeState(it.St, ws.cur)
-		v.mon.Decode(it.St[n:], &ws.curMS)
-		ops := v.p.Ops(ws.cur)
+		itemKey := it.St
+		if !opts.HashCompact {
+			ws.popBuf = store.AppendKey(ws.popBuf[:0], it.ID)
+			itemKey = ws.popBuf
+		}
+		n := v.p.DecodeState(itemKey, ws.cur)
+		v.mon.Decode(itemKey[n:], &ws.curMS)
+		ops := ws.ops
+		v.p.OpsInto(ops, ws.cur)
 
 		for t := range ops {
 			if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
@@ -117,7 +128,7 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 			if !enabled {
 				continue // blocked wait/BCAS
 			}
-			nextTS, afail := v.p.Threads[t].Apply(ws.cur.Threads[t], label)
+			afail := v.p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
 			if afail != nil {
 				mu.Lock()
 				if assertFail == nil {
@@ -129,16 +140,17 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 				return false
 			}
 			savedTS := ws.cur.Threads[t]
-			ws.cur.Threads[t] = nextTS
+			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.nextMS.CopyFrom(&ws.curMS)
 			v.mon.Step(ws.nextMS, lang.Tid(t), label)
 			key := ws.encode(v, ws.cur, ws.nextMS)
 			ws.cur.Threads[t] = savedTS
 			id, isNew := store.Add(key, it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
 			if isNew {
-				push(explore.Item[[]byte]{ID: id, St: append([]byte(nil), key...)})
+				push(explore.Item[[]byte]{ID: id, St: ws.pushPayload(opts.HashCompact, key)})
 			}
 		}
+		ws.recycle(it.St)
 		return true
 	}
 
@@ -182,25 +194,9 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 
 	workers := opts.workerCount()
 	store := explore.NewSharded(opts.HashCompact)
-	type scScratch struct {
-		cur    prog.State
-		mem    memsc.Memory
-		keyBuf []byte
-	}
 	scratches := make([]*scScratch, workers)
 	for w := range scratches {
-		ws := &scScratch{mem: memsc.New(program.NumLocs())}
-		ws.cur = prog.State{Threads: make([]prog.ThreadState, program.NumThreads())}
-		for i := range ws.cur.Threads {
-			ws.cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
-		}
-		scratches[w] = ws
-	}
-	encode := func(ws *scScratch, ps prog.State, m memsc.Memory) []byte {
-		ws.keyBuf = ws.keyBuf[:0]
-		ws.keyBuf = p.EncodeState(ws.keyBuf, ps)
-		ws.keyBuf = m.Encode(ws.keyBuf)
-		return ws.keyBuf
+		scratches[w] = newSCScratch(p, program)
 	}
 
 	var (
@@ -209,9 +205,9 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 		bound      bool
 	)
 	m0 := memsc.New(program.NumLocs())
-	rootKey := encode(scratches[0], ps0, m0)
+	rootKey := scratches[0].encode(p, ps0, m0)
 	rootID, _ := store.Add(rootKey, -1, explore.Step{})
-	roots := []explore.Item[[]byte]{{ID: rootID, St: append([]byte(nil), rootKey...)}}
+	roots := []explore.Item[[]byte]{{ID: rootID, St: scratches[0].pushPayload(opts.HashCompact, rootKey)}}
 
 	expand := func(w int, it explore.Item[[]byte], push func(explore.Item[[]byte])) bool {
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
@@ -221,13 +217,17 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 			return false
 		}
 		ws := scratches[w]
-		n := p.DecodeState(it.St, ws.cur)
-		for i := range ws.mem {
-			ws.mem[i] = lang.Val(it.St[n+i])
+		itemKey := it.St
+		if !opts.HashCompact {
+			ws.popBuf = store.AppendKey(ws.popBuf[:0], it.ID)
+			itemKey = ws.popBuf
 		}
-		ops := p.Ops(ws.cur)
-		for t := range ops {
-			op := ops[t]
+		n := p.DecodeState(itemKey, ws.cur)
+		for i := range ws.mem {
+			ws.mem[i] = lang.Val(itemKey[n+i])
+		}
+		p.OpsInto(ws.ops, ws.cur)
+		for t, op := range ws.ops {
 			if op.Kind == prog.OpNone {
 				continue
 			}
@@ -235,7 +235,7 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 			if !enabled {
 				continue
 			}
-			nextTS, afail := p.Threads[t].Apply(ws.cur.Threads[t], label)
+			afail := p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
 			if afail != nil {
 				mu.Lock()
 				if assertFail == nil {
@@ -246,15 +246,16 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 			}
 			savedTS := ws.cur.Threads[t]
 			savedVal := ws.mem[op.Loc]
-			ws.cur.Threads[t] = nextTS
+			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.mem.Step(label)
-			key := encode(ws, ws.cur, ws.mem)
+			key := ws.encode(p, ws.cur, ws.mem)
 			ws.cur.Threads[t] = savedTS
 			ws.mem[op.Loc] = savedVal
 			if id, isNew := store.Add(key, -1, explore.Step{}); isNew {
-				push(explore.Item[[]byte]{ID: id, St: append([]byte(nil), key...)})
+				push(explore.Item[[]byte]{ID: id, St: ws.pushPayload(opts.HashCompact, key)})
 			}
 		}
+		ws.recycle(it.St)
 		return true
 	}
 

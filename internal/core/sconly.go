@@ -19,13 +19,70 @@ type SCVerdict struct {
 	Elapsed time.Duration
 }
 
+// scScratch is the per-worker expansion state of the SC-only explorer:
+// the plain-SC counterpart of scratch (no monitor state, a flat SC memory
+// instead).
+type scScratch struct {
+	cur    prog.State
+	nxt    prog.State
+	ops    []prog.MemOp
+	mem    memsc.Memory
+	keyBuf []byte
+	popBuf []byte
+	free   [][]byte
+}
+
+func newSCScratch(p *prog.P, program *lang.Program) *scScratch {
+	ws := &scScratch{
+		mem: memsc.New(program.NumLocs()),
+		ops: make([]prog.MemOp, program.NumThreads()),
+	}
+	ws.cur = prog.State{Threads: make([]prog.ThreadState, program.NumThreads())}
+	ws.nxt = prog.State{Threads: make([]prog.ThreadState, program.NumThreads())}
+	for i := range ws.cur.Threads {
+		ws.cur.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+		ws.nxt.Threads[i].Regs = make([]lang.Val, program.Threads[i].NumRegs)
+	}
+	return ws
+}
+
+func (ws *scScratch) encode(p *prog.P, ps prog.State, m memsc.Memory) []byte {
+	ws.keyBuf = ws.keyBuf[:0]
+	ws.keyBuf = p.EncodeState(ws.keyBuf, ps)
+	ws.keyBuf = m.Encode(ws.keyBuf)
+	return ws.keyBuf
+}
+
+// pushPayload and recycle mirror scratch's zero-copy frontier discipline:
+// nil payloads in exact mode, recycled buffers in hash-compact mode.
+func (ws *scScratch) pushPayload(hashCompact bool, key []byte) []byte {
+	if !hashCompact {
+		return nil
+	}
+	var buf []byte
+	if n := len(ws.free); n > 0 {
+		buf = ws.free[n-1][:0]
+		ws.free = ws.free[:n-1]
+	}
+	return append(buf, key...)
+}
+
+func (ws *scScratch) recycle(buf []byte) {
+	if buf != nil {
+		ws.free = append(ws.free, buf)
+	}
+}
+
 // VerifySC explores the program under plain (uninstrumented) sequential
 // consistency, checking only user assertions. This is the paper's "SC"
 // comparison column in Figure 7: the cost of ordinary SC model checking,
 // against which the robustness instrumentation's overhead is measured.
 //
 // Like Verify, it explores in parallel when Options.Workers resolves to
-// more than one worker; Workers = 1 is the sequential reference path.
+// more than one worker; Workers = 1 is the sequential reference path. Both
+// paths share the allocation-free hot loop shape of Verify: encoded
+// frontier (id-only in exact mode), per-worker scratch decode, clone-free
+// ApplyInto stepping.
 func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	if opts.workerCount() > 1 {
 		return verifySCParallel(program, opts)
@@ -48,51 +105,68 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	} else {
 		store = explore.NewStore()
 	}
-	type node struct {
-		ps prog.State
-		m  memsc.Memory
-	}
-	var queue []node
-	var keyBuf []byte
-	encode := func(ps prog.State, m memsc.Memory) []byte {
-		keyBuf = keyBuf[:0]
-		keyBuf = p.EncodeState(keyBuf, ps)
-		keyBuf = m.Encode(keyBuf)
-		return keyBuf
-	}
+	var queue explore.Queue[[]byte]
+	ws := newSCScratch(p, program)
 	m0 := memsc.New(program.NumLocs())
-	store.AddBytes(encode(ps0, m0), -1, explore.Step{})
-	queue = append(queue, node{ps0, m0})
-	for len(queue) > 0 {
-		n := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	rootKey := ws.encode(p, ps0, m0)
+	root, _ := store.AddBytes(rootKey, -1, explore.Step{})
+	if opts.HashCompact {
+		queue.Push(root, ws.pushPayload(true, rootKey))
+	}
+	// Exact mode: the dense id sequence is the implicit FIFO frontier
+	// (see Verify); the queue is only used in hash-compact mode.
+	next := int32(0)
+	for {
+		var item explore.QItem[[]byte]
+		if opts.HashCompact {
+			var ok bool
+			if item, ok = queue.Pop(); !ok {
+				break
+			}
+		} else {
+			if int(next) >= store.Len() {
+				break
+			}
+			item = explore.QItem[[]byte]{ID: next, St: store.KeyBytes(next)}
+			next++
+		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, ErrStateBound
 		}
-		ops := p.Ops(n.ps)
-		for t := range ops {
-			op := ops[t]
+		itemKey := item.St
+		n := p.DecodeState(itemKey, ws.cur)
+		for i := range ws.mem {
+			ws.mem[i] = lang.Val(itemKey[n+i])
+		}
+		p.OpsInto(ws.ops, ws.cur)
+		for t, op := range ws.ops {
 			if op.Kind == prog.OpNone {
 				continue
 			}
-			label, enabled := prog.SCLabel(op, n.m[op.Loc], program.ValCount)
+			label, enabled := prog.SCLabel(op, ws.mem[op.Loc], program.ValCount)
 			if !enabled {
 				continue
 			}
-			nextTS, afail := p.Threads[t].Apply(n.ps.Threads[t], label)
+			afail := p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
 			if afail != nil {
 				verdict.AssertFail = afail
 				verdict.States = store.Len()
 				verdict.Elapsed = time.Since(start)
 				return verdict, nil
 			}
-			nextPS := n.ps.Clone()
-			nextPS.Threads[t] = nextTS
-			nextM := n.m.Clone()
-			nextM.Step(label)
-			if _, isNew := store.AddBytes(encode(nextPS, nextM), -1, explore.Step{}); isNew {
-				queue = append(queue, node{nextPS, nextM})
+			savedTS := ws.cur.Threads[t]
+			savedVal := ws.mem[op.Loc]
+			ws.cur.Threads[t] = ws.nxt.Threads[t]
+			ws.mem.Step(label)
+			key := ws.encode(p, ws.cur, ws.mem)
+			ws.cur.Threads[t] = savedTS
+			ws.mem[op.Loc] = savedVal
+			if id, isNew := store.AddBytes(key, -1, explore.Step{}); isNew && opts.HashCompact {
+				queue.Push(id, ws.pushPayload(true, key))
 			}
+		}
+		if opts.HashCompact {
+			ws.recycle(item.St)
 		}
 	}
 	verdict.States = store.Len()

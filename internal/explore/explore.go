@@ -11,12 +11,48 @@ package explore
 
 import "repro/internal/lang"
 
+// Internal tags a trace step that is not a program action. It is a one-byte
+// enum rather than a description string: a Step is recorded per stored state
+// in multi-million-state runs, and the string header tripled its size.
+type Internal uint8
+
+const (
+	IntNone  Internal = iota
+	IntEps            // explicit ε-transition (the ε-granular explorers)
+	IntFlush          // TSO store-buffer flush
+)
+
+func (k Internal) String() string {
+	switch k {
+	case IntEps:
+		return "eps"
+	case IntFlush:
+		return "flush"
+	}
+	return ""
+}
+
 // Step is one transition of a run: a thread performing a labelled action.
-// Internal actions (e.g. TSO flushes) use Internal with a description.
+// Internal actions (e.g. TSO flushes) set Internal to a non-IntNone tag.
 type Step struct {
 	Tid      lang.Tid
 	Lab      lang.Label
-	Internal string // non-empty for internal (non-program) actions
+	Internal Internal
+}
+
+// grown returns s with room to append at least one more element, doubling
+// the capacity of already-large slices. Plain append's growth factor decays
+// toward 1.25× for large slices, which makes the cumulative bytes allocated
+// by a growing multi-million-element slice approach 5× its final size;
+// doubling keeps the cumulative total within 2×. Used on every per-state
+// slice of the stores and the frontier.
+func grown[T any](s []T) []T {
+	if len(s) == cap(s) && cap(s) >= 1024 {
+		ns := make([]T, len(s), 2*cap(s))
+		copy(ns, s)
+		return ns
+	}
+	return s
 }
 
 // Queue is a FIFO frontier of state payloads of type T paired with their
@@ -34,7 +70,7 @@ type QItem[T any] struct {
 
 // Push enqueues a state.
 func (q *Queue[T]) Push(id int32, st T) {
-	q.items = append(q.items, QItem[T]{id, st})
+	q.items = append(grown(q.items), QItem[T]{id, st})
 }
 
 // Pop dequeues the oldest state; ok is false when the queue is empty.
@@ -48,6 +84,11 @@ func (q *Queue[T]) Pop() (QItem[T], bool) {
 	q.head++
 	if q.head > 4096 && q.head*2 > len(q.items) {
 		n := copy(q.items, q.items[q.head:])
+		// Zero the vacated tail: after the copy the backing array still
+		// holds a second reference to every live payload past n, which
+		// would keep large frontiers' payloads reachable until they are
+		// overwritten by future pushes (if ever).
+		clear(q.items[n:])
 		q.items = q.items[:n]
 		q.head = 0
 	}

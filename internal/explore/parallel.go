@@ -68,10 +68,25 @@ type engine[T any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	batches [][]Item[T]
+	// free holds retired batch buffers for reuse, so steady-state frontier
+	// hand-off allocates no batch slices (the free list is bounded by the
+	// peak number of in-flight batches).
+	free [][]Item[T]
 	// pending counts items that are on the frontier or claimed by a worker
 	// and not yet fully expanded; the search is over when it reaches zero.
 	pending int
 	stop    atomic.Bool
+}
+
+// newBatchLocked returns an empty batch buffer, reusing a retired one when
+// available. Caller holds e.mu.
+func (e *engine[T]) newBatchLocked() []Item[T] {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1][:0]
+		e.free = e.free[:n-1]
+		return b
+	}
+	return make([]Item[T], 0, batchSize)
 }
 
 func (e *engine[T]) work(w int, expand Expand[T]) {
@@ -79,8 +94,7 @@ func (e *engine[T]) work(w int, expand Expand[T]) {
 	push := func(it Item[T]) {
 		out = append(out, it)
 		if len(out) >= batchSize {
-			e.inject(out)
-			out = make([]Item[T], 0, batchSize)
+			out = e.inject(out)
 		}
 	}
 	for {
@@ -97,9 +111,10 @@ func (e *engine[T]) work(w int, expand Expand[T]) {
 				break
 			}
 		}
-		if handedOff := e.finish(len(batch), out); handedOff {
-			out = make([]Item[T], 0, batchSize)
-		}
+		// Drop payload references before the buffer goes back on the free
+		// list; reuse only overwrites slots up to the next batch's length.
+		clear(batch)
+		out = e.finish(len(batch), out, batch)
 	}
 }
 
@@ -122,21 +137,25 @@ func (e *engine[T]) take() []Item[T] {
 	}
 }
 
-// inject publishes a full local out-buffer mid-batch.
-func (e *engine[T]) inject(b []Item[T]) {
+// inject publishes a full local out-buffer mid-batch and returns a fresh
+// (recycled when possible) buffer for the worker to keep filling.
+func (e *engine[T]) inject(b []Item[T]) []Item[T] {
 	e.mu.Lock()
 	if !e.stop.Load() {
 		e.batches = append(e.batches, b)
 		e.pending += len(b)
 		e.cond.Signal()
 	}
+	nb := e.newBatchLocked()
 	e.mu.Unlock()
+	return nb
 }
 
-// finish retires a processed batch, publishing any remaining out-buffer in
-// the same critical section. It reports whether out was handed off (the
-// worker must then stop reusing it).
-func (e *engine[T]) finish(processed int, out []Item[T]) bool {
+// finish retires a processed batch (recycling its buffer) and publishes
+// any remaining out-buffer in the same critical section, returning the
+// worker's next out-buffer — out itself when it was not handed off, a
+// recycled one otherwise.
+func (e *engine[T]) finish(processed int, out, done []Item[T]) []Item[T] {
 	e.mu.Lock()
 	handedOff := false
 	if len(out) > 0 && !e.stop.Load() {
@@ -144,14 +163,18 @@ func (e *engine[T]) finish(processed int, out []Item[T]) bool {
 		e.pending += len(out)
 		handedOff = true
 	}
+	e.free = append(e.free, done[:0])
 	e.pending -= processed
 	if e.pending <= 0 || e.stop.Load() {
 		e.cond.Broadcast()
 	} else if handedOff {
 		e.cond.Signal()
 	}
+	if handedOff {
+		out = e.newBatchLocked()
+	}
 	e.mu.Unlock()
-	return handedOff
+	return out
 }
 
 // cancel requests cooperative termination: workers observe the flag

@@ -141,9 +141,12 @@ func TestRunParallelTraceValid(t *testing.T) {
 			}
 			var key [8]byte
 			binary.LittleEndian.PutUint64(key[:], uint64(succ))
-			// Record the tree edge as the step's Tid/Lab payload: Internal
-			// carries the child index so the trace can be replayed.
-			st := explore.Step{Internal: string(key[:])}
+			// Record the tree edge in the step's byte-sized fields (child
+			// index split across Tid/VR/VW) so the trace can be replayed.
+			st := explore.Step{
+				Tid: lang.Tid(succ),
+				Lab: lang.Label{VR: lang.Val(succ >> 8), VW: lang.Val(succ >> 16)},
+			}
 			if id, isNew := s.Add(key[:], it.ID, st); isNew {
 				if succ == target {
 					foundID.Store(id)
@@ -167,7 +170,7 @@ func TestRunParallelTraceValid(t *testing.T) {
 	// current node, ending at target.
 	cur := 0
 	for i, st := range trace {
-		child := int(binary.LittleEndian.Uint64([]byte(st.Internal)))
+		child := int(st.Tid) | int(st.Lab.VR)<<8 | int(st.Lab.VW)<<16
 		if child != 2*cur+1 && child != 2*cur+2 {
 			t.Fatalf("trace step %d: %d is not a successor of %d", i, child, cur)
 		}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 )
@@ -16,11 +17,14 @@ const (
 )
 
 // Sharded is a concurrent visited-state store: the encoding's Hash128
-// digest selects one of 64 independently-locked shards, each an exact or
-// hash-compacted map plus per-state parent/step trace links. It is the
-// concurrent counterpart of Store, used by RunParallel-based explorers;
-// ids are int64 (packed shard + local index) rather than Store's dense
-// int32s.
+// digest selects one of 64 independently-locked shards, each an exact
+// open-addressing table over an append-only key arena (or a hash-compacted
+// map) plus per-state parent/step trace links. It is the concurrent
+// counterpart of Store, used by RunParallel-based explorers; ids are int64
+// (packed shard + local index) rather than Store's dense int32s. Like
+// Store's exact mode, steady-state interning performs no per-state heap
+// allocation: keys go into per-shard arenas and every table grows
+// geometrically.
 type Sharded struct {
 	hashCompact bool
 	count       atomic.Int64
@@ -29,12 +33,18 @@ type Sharded struct {
 
 type shard struct {
 	mu     sync.Mutex
-	exact  map[string]int32
-	hashed map[[2]uint64]int32
+	hashed map[[2]uint64]int32 // hash-compact mode; nil in exact mode
+	arena  arena
+	refs   []keyRef
+	table  []slot
+	mask   uint64
 	parent []int64
 	step   []Step
-	_      [40]byte // pad shards apart to limit false sharing on mu
 }
+
+// shardMinTable is the initial per-shard slot-table size (a power of two);
+// smaller than Store's since the load spreads over 64 shards.
+const shardMinTable = 1 << 6
 
 // NewSharded returns an empty sharded store, exact or hash-compacted.
 func NewSharded(hashCompact bool) *Sharded {
@@ -43,7 +53,8 @@ func NewSharded(hashCompact bool) *Sharded {
 		if hashCompact {
 			s.shards[i].hashed = make(map[[2]uint64]int32)
 		} else {
-			s.shards[i].exact = make(map[string]int32)
+			s.shards[i].table = make([]slot, shardMinTable)
+			s.shards[i].mask = shardMinTable - 1
 		}
 	}
 	return s
@@ -53,8 +64,8 @@ func NewSharded(hashCompact bool) *Sharded {
 // Parent and step are recorded for new states only; in a concurrent
 // exploration the recorded parent is whichever arc interned the state
 // first — a valid (not necessarily shortest) path, since parents are
-// always already-interned states. The key is copied when stored, so
-// callers may reuse the backing buffer.
+// always already-interned states. The key is copied (into the shard's
+// arena) only when new, so callers may reuse the backing buffer.
 func (s *Sharded) Add(key []byte, parent int64, step Step) (int64, bool) {
 	h := Hash128(key)
 	si := h[0] & shardMask
@@ -67,18 +78,65 @@ func (s *Sharded) Add(key []byte, parent int64, step Step) (int64, bool) {
 		}
 		sh.hashed[h] = int32(len(sh.parent))
 	} else {
-		if local, ok := sh.exact[string(key)]; ok {
-			sh.mu.Unlock()
-			return int64(local)<<shardBits | int64(si), false
+		// The second hash lane drives the in-shard probe so that the bits
+		// consumed by shard selection don't degrade the table's spread.
+		i := h[1] & sh.mask
+		for {
+			sl := &sh.table[i]
+			if sl.id == 0 {
+				sh.refs = append(grown(sh.refs), sh.arena.intern(key))
+				sl.h = h[1]
+				sl.id = int32(len(sh.parent)) + 1
+				if uint64(len(sh.refs))*4 > (sh.mask+1)*3 {
+					sh.grow()
+				}
+				break
+			}
+			if sl.h == h[1] && bytes.Equal(sh.arena.bytes(sh.refs[sl.id-1]), key) {
+				local := sl.id - 1
+				sh.mu.Unlock()
+				return int64(local)<<shardBits | int64(si), false
+			}
+			i = (i + 1) & sh.mask
 		}
-		sh.exact[string(key)] = int32(len(sh.parent))
 	}
 	local := int64(len(sh.parent))
-	sh.parent = append(sh.parent, parent)
-	sh.step = append(sh.step, step)
+	sh.parent = append(grown(sh.parent), parent)
+	sh.step = append(grown(sh.step), step)
 	sh.mu.Unlock()
 	s.count.Add(1)
 	return local<<shardBits | int64(si), true
+}
+
+func (sh *shard) grow() {
+	old := sh.table
+	sh.table = make([]slot, len(old)*2)
+	sh.mask = uint64(len(sh.table) - 1)
+	for _, sl := range old {
+		if sl.id == 0 {
+			continue
+		}
+		i := sl.h & sh.mask
+		for sh.table[i].id != 0 {
+			i = (i + 1) & sh.mask
+		}
+		sh.table[i] = sl
+	}
+}
+
+// AppendKey appends the interned encoding of state id to dst and returns
+// the extended slice. Exact mode only (hash-compacted stores keep no
+// keys). Unlike Store.KeyBytes it copies — under the shard lock — rather
+// than aliasing the arena, since another worker may grow the shard's block
+// list concurrently; the caller supplies a reusable buffer, so the copy
+// still allocates nothing in steady state. This re-materialization is what
+// lets the parallel exact-mode frontier carry bare ids.
+func (s *Sharded) AppendKey(dst []byte, id int64) []byte {
+	sh := &s.shards[id&shardMask]
+	sh.mu.Lock()
+	dst = append(dst, sh.arena.bytes(sh.refs[id>>shardBits])...)
+	sh.mu.Unlock()
+	return dst
 }
 
 // Len returns the number of stored states. It reads an atomic counter, so

@@ -1,5 +1,7 @@
 package explore
 
+import "bytes"
+
 // Store interns canonical state encodings, assigning dense ids and
 // recording, for each state, the id of its BFS parent and the step taken
 // from it, so a shortest trace to any stored state can be rebuilt.
@@ -10,16 +12,41 @@ package explore
 // in principle prune a state (probability < n²·2⁻¹²⁸ for n states —
 // negligible, but the exact mode is the default and is used by all
 // correctness tests).
+//
+// The exact mode is an open-addressing hash table over keys interned in an
+// append-only byte arena: steady-state insertion allocates nothing per
+// state (arena blocks, the slot table and the per-id slices all grow
+// geometrically), where the previous map[string] representation paid a key
+// copy plus bucket churn per state. Interned keys never move, so KeyBytes
+// can hand out stable views into the arena — the basis of the exact-mode
+// id-only frontier in core.
 type Store struct {
-	exact  map[string]int32
-	hashed map[[2]uint64]int32
+	hashed map[[2]uint64]int32 // hash-compact mode; nil in exact mode
+
+	// Exact mode: linear-probing table of (digest, id+1) slots; keys live
+	// in the arena, addressed by refs[id].
+	arena arena
+	refs  []keyRef
+	table []slot
+	mask  uint64
+
 	parent []int32
 	step   []Step
 }
 
+// slot is one open-addressing table entry: the key's 64-bit probe digest
+// (the first Hash128 lane) and id+1, with 0 marking an empty slot.
+type slot struct {
+	h  uint64
+	id int32
+}
+
+// storeMinTable is the initial slot-table size (a power of two).
+const storeMinTable = 1 << 10
+
 // NewStore returns an empty exact store.
 func NewStore() *Store {
-	return &Store{exact: make(map[string]int32)}
+	return &Store{table: make([]slot, storeMinTable), mask: storeMinTable - 1}
 }
 
 // NewHashCompactStore returns an empty hash-compacted store.
@@ -37,46 +64,74 @@ func (s *Store) Root(key string) int32 {
 // state was new. Parent and step are recorded only for new states (BFS
 // guarantees the first visit is via a shortest path).
 func (s *Store) Add(key string, parent int32, step Step) (int32, bool) {
-	if s.exact != nil {
-		if id, ok := s.exact[key]; ok {
-			return id, false
-		}
-		id := s.push(parent, step)
-		s.exact[key] = id
-		return id, true
-	}
-	return s.addHashed(Hash128([]byte(key)), parent, step)
+	return s.AddBytes([]byte(key), parent, step)
 }
 
 // AddBytes is Add for a byte-slice key (the encoders' native type). The
-// key is only copied when the state is new and the store is exact, so
-// callers may reuse the backing buffer between calls.
+// key is only copied (into the arena) when the state is new and the store
+// is exact, so callers may reuse the backing buffer between calls.
 func (s *Store) AddBytes(key []byte, parent int32, step Step) (int32, bool) {
-	if s.exact != nil {
-		if id, ok := s.exact[string(key)]; ok { // no-alloc map probe
+	h := Hash128(key)
+	if s.hashed != nil {
+		if id, ok := s.hashed[h]; ok {
 			return id, false
 		}
 		id := s.push(parent, step)
-		s.exact[string(key)] = id
+		s.hashed[h] = id
 		return id, true
 	}
-	return s.addHashed(Hash128(key), parent, step)
+	i := h[0] & s.mask
+	for {
+		sl := &s.table[i]
+		if sl.id == 0 {
+			id := s.push(parent, step)
+			s.refs = append(grown(s.refs), s.arena.intern(key))
+			sl.h = h[0]
+			sl.id = id + 1
+			if uint64(len(s.refs))*4 > (s.mask+1)*3 {
+				s.grow()
+			}
+			return id, true
+		}
+		if sl.h == h[0] && bytes.Equal(s.arena.bytes(s.refs[sl.id-1]), key) {
+			return sl.id - 1, false
+		}
+		i = (i + 1) & s.mask
+	}
 }
 
-func (s *Store) addHashed(h [2]uint64, parent int32, step Step) (int32, bool) {
-	if id, ok := s.hashed[h]; ok {
-		return id, false
+// grow doubles the slot table, reinserting by the cached digests (all keys
+// are distinct, so no byte comparisons are needed).
+func (s *Store) grow() {
+	old := s.table
+	s.table = make([]slot, len(old)*2)
+	s.mask = uint64(len(s.table) - 1)
+	for _, sl := range old {
+		if sl.id == 0 {
+			continue
+		}
+		i := sl.h & s.mask
+		for s.table[i].id != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = sl
 	}
-	id := s.push(parent, step)
-	s.hashed[h] = id
-	return id, true
 }
 
 func (s *Store) push(parent int32, step Step) int32 {
 	id := int32(len(s.parent))
-	s.parent = append(s.parent, parent)
-	s.step = append(s.step, step)
+	s.parent = append(grown(s.parent), parent)
+	s.step = append(grown(s.step), step)
 	return id
+}
+
+// KeyBytes returns the interned encoding of state id. Exact mode only
+// (hash-compacted stores keep no keys). The result aliases the arena: it
+// stays valid across later Adds and must not be mutated. This is what lets
+// the exact-mode frontier carry bare ids and re-materialize the encoding
+// on expansion instead of keeping a copy per queued state.
+func (s *Store) KeyBytes(id int32) []byte {
+	return s.arena.bytes(s.refs[id])
 }
 
 // Len returns the number of stored states.

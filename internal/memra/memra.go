@@ -56,6 +56,12 @@ type Msg struct {
 type State struct {
 	Msgs  []Msg
 	Views []View
+
+	// remap is Canonicalize's per-location timestamp translation table,
+	// kept on the state so pooled scratch states canonicalize without
+	// allocating. Not part of the state proper (ignored by Clone, CopyFrom
+	// and Encode).
+	remap []Time
 }
 
 // New returns the initial RA state for the given numbers of locations and
@@ -87,16 +93,37 @@ func (s *State) Clone() *State {
 	return c
 }
 
-// locMsgs returns the indices of messages of location x, in timestamp
-// order (messages are kept sorted).
-func (s *State) locMsgs(x lang.Loc) []int {
-	var idx []int
-	for i := range s.Msgs {
-		if s.Msgs[i].Loc == x {
-			idx = append(idx, i)
+// CopyFrom overwrites s with o, reusing s's message and view storage where
+// the shapes match — the pooled-scratch counterpart of Clone. Shrinking
+// reslices within capacity, so the View backing arrays of dropped messages
+// stay available for later regrowth and inserts.
+func (s *State) CopyFrom(o *State) {
+	for len(s.Msgs) < len(o.Msgs) {
+		if len(s.Msgs) < cap(s.Msgs) {
+			s.Msgs = s.Msgs[:len(s.Msgs)+1]
+		} else {
+			s.Msgs = append(s.Msgs, Msg{})
 		}
 	}
-	return idx
+	s.Msgs = s.Msgs[:len(o.Msgs)]
+	for i := range o.Msgs {
+		om := &o.Msgs[i]
+		m := &s.Msgs[i]
+		m.Loc, m.Val, m.T = om.Loc, om.Val, om.T
+		if len(m.View) != len(om.View) {
+			m.View = make(View, len(om.View))
+		}
+		copy(m.View, om.View)
+	}
+	if len(s.Views) != len(o.Views) {
+		s.Views = make([]View, len(o.Views))
+	}
+	for i := range o.Views {
+		if len(s.Views[i]) != len(o.Views[i]) {
+			s.Views[i] = make(View, len(o.Views[i]))
+		}
+		copy(s.Views[i], o.Views[i])
+	}
 }
 
 // hasMsgAt reports whether a message of x with timestamp t exists.
@@ -120,28 +147,48 @@ func (s *State) maxT(x lang.Loc) Time {
 	return m
 }
 
-// insert adds a message, keeping the pool sorted by (Loc, T).
-func (s *State) insert(m Msg) {
+// insertCopy inserts a message ⟨x=v@t⟩ whose view is a copy of view,
+// keeping the pool sorted by (Loc, T). When the Msgs slice has spare
+// capacity from an earlier shrink (see CopyFrom), the vacated slot's View
+// backing is reused for the copy, so pooled states write without
+// allocating in steady state.
+func (s *State) insertCopy(x lang.Loc, v lang.Val, t Time, view View) {
 	i := sort.Search(len(s.Msgs), func(i int) bool {
 		mi := &s.Msgs[i]
-		return mi.Loc > m.Loc || (mi.Loc == m.Loc && mi.T > m.T)
+		return mi.Loc > x || (mi.Loc == x && mi.T > t)
 	})
-	s.Msgs = append(s.Msgs, Msg{})
+	var spare View
+	if len(s.Msgs) < cap(s.Msgs) {
+		s.Msgs = s.Msgs[:len(s.Msgs)+1]
+		spare = s.Msgs[len(s.Msgs)-1].View
+	} else {
+		s.Msgs = append(s.Msgs, Msg{})
+	}
 	copy(s.Msgs[i+1:], s.Msgs[i:])
-	s.Msgs[i] = m
+	if len(spare) != len(view) {
+		spare = make(View, len(view))
+	}
+	copy(spare, view)
+	s.Msgs[i] = Msg{Loc: x, Val: v, T: t, View: spare}
 }
 
 // ReadCandidates returns the messages of x thread tid may read: those with
 // timestamp ≥ the thread's view of x (Figure 3, read rule).
 func (s *State) ReadCandidates(tid lang.Tid, x lang.Loc) []Msg {
-	var out []Msg
+	return s.AppendReadCandidates(nil, tid, x)
+}
+
+// AppendReadCandidates is ReadCandidates appending into dst — candidate
+// enumeration into caller scratch. The returned Msgs alias s's views and
+// stay valid while s is unmodified.
+func (s *State) AppendReadCandidates(dst []Msg, tid lang.Tid, x lang.Loc) []Msg {
 	min := s.Views[tid][x]
 	for i := range s.Msgs {
 		if s.Msgs[i].Loc == x && s.Msgs[i].T >= min {
-			out = append(out, s.Msgs[i])
+			dst = append(dst, s.Msgs[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // Read performs the read transition of thread tid from message m
@@ -160,15 +207,19 @@ func (s *State) Read(tid lang.Tid, m Msg) {
 // SC; larger headrooms allow later writes to be interleaved mo-before this
 // one (see package comment on exactness).
 func (s *State) WriteSlots(tid lang.Tid, x lang.Loc, headroom int) []Time {
-	var out []Time
+	return s.AppendWriteSlots(nil, tid, x, headroom)
+}
+
+// AppendWriteSlots is WriteSlots appending into dst.
+func (s *State) AppendWriteSlots(dst []Time, tid lang.Tid, x lang.Loc, headroom int) []Time {
 	lo := s.Views[tid][x] + 1
 	hi := s.maxT(x) + Time(headroom)
 	for t := lo; t <= hi; t++ {
 		if !s.hasMsgAt(x, t) {
-			out = append(out, t)
+			dst = append(dst, t)
 		}
 	}
-	return out
+	return dst
 }
 
 // Write performs the write transition of thread tid: a new message
@@ -176,7 +227,7 @@ func (s *State) WriteSlots(tid lang.Tid, x lang.Loc, headroom int) []Time {
 // write rule). t must come from WriteSlots.
 func (s *State) Write(tid lang.Tid, x lang.Loc, v lang.Val, t Time) {
 	s.Views[tid][x] = t
-	s.insert(Msg{Loc: x, Val: v, T: t, View: s.Views[tid].Clone()})
+	s.insertCopy(x, v, t, s.Views[tid])
 }
 
 // WriteSlotSRA returns the timestamp a write must pick under the SRA
@@ -194,26 +245,36 @@ func (s *State) WriteSlotSRA(x lang.Loc) Time {
 // (and only if the thread's view permits reading it, which it always
 // does for the maximum).
 func (s *State) RMWCandidatesSRA(tid lang.Tid, x lang.Loc) []Msg {
-	var out []Msg
+	return s.AppendRMWCandidatesSRA(nil, tid, x)
+}
+
+// AppendRMWCandidatesSRA is RMWCandidatesSRA appending into dst.
+func (s *State) AppendRMWCandidatesSRA(dst []Msg, tid lang.Tid, x lang.Loc) []Msg {
+	min := s.Views[tid][x]
 	maxT := s.maxT(x)
-	for _, m := range s.ReadCandidates(tid, x) {
-		if m.T == maxT {
-			out = append(out, m)
+	for i := range s.Msgs {
+		if s.Msgs[i].Loc == x && s.Msgs[i].T >= min && s.Msgs[i].T == maxT {
+			dst = append(dst, s.Msgs[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // RMWCandidates returns the messages of x thread tid may read in an RMW:
 // readable messages whose successor timestamp is free (Figure 3, RMW rule).
 func (s *State) RMWCandidates(tid lang.Tid, x lang.Loc) []Msg {
-	var out []Msg
-	for _, m := range s.ReadCandidates(tid, x) {
-		if !s.hasMsgAt(x, m.T+1) {
-			out = append(out, m)
+	return s.AppendRMWCandidates(nil, tid, x)
+}
+
+// AppendRMWCandidates is RMWCandidates appending into dst.
+func (s *State) AppendRMWCandidates(dst []Msg, tid lang.Tid, x lang.Loc) []Msg {
+	min := s.Views[tid][x]
+	for i := range s.Msgs {
+		if s.Msgs[i].Loc == x && s.Msgs[i].T >= min && !s.hasMsgAt(x, s.Msgs[i].T+1) {
+			dst = append(dst, s.Msgs[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // RMW performs the RMW transition of thread tid reading message m and
@@ -223,7 +284,7 @@ func (s *State) RMW(tid lang.Tid, m Msg, vW lang.Val) {
 	tv := s.Views[tid]
 	tv.Join(m.View)
 	tv[m.Loc] = m.T + 1
-	s.insert(Msg{Loc: m.Loc, Val: vW, T: m.T + 1, View: tv.Clone()})
+	s.insertCopy(m.Loc, vW, m.T+1, tv)
 }
 
 // Canonicalize re-ranks timestamps per location: order is preserved, and
@@ -236,26 +297,40 @@ func (s *State) Canonicalize(gapCap int) {
 		gapCap = 2
 	}
 	numLocs := 0
+	maxT := 0
 	for i := range s.Msgs {
 		if int(s.Msgs[i].Loc) >= numLocs {
 			numLocs = int(s.Msgs[i].Loc) + 1
 		}
+		if int(s.Msgs[i].T) > maxT {
+			maxT = int(s.Msgs[i].T)
+		}
 	}
-	// Build per-location remapping tables.
-	remap := make([]map[Time]Time, numLocs)
-	for x := 0; x < numLocs; x++ {
-		idx := s.locMsgs(lang.Loc(x))
-		// Messages are sorted, so idx yields ascending timestamps.
-		m := make(map[Time]Time, len(idx))
+	// The translation table is a flat [loc][oldT] array (old timestamps
+	// are bounded by maxT, which canonicalization keeps small) storing
+	// newT+1, with 0 marking an unmapped entry — no per-call maps, and the
+	// buffer lives on the state for reuse across calls.
+	stride := maxT + 1
+	need := numLocs * stride
+	if cap(s.remap) < need {
+		s.remap = make([]Time, need)
+	}
+	remap := s.remap[:need]
+	clear(remap)
+	// Messages are sorted by (Loc, T), so each location is one contiguous
+	// run in ascending timestamp order.
+	for i := 0; i < len(s.Msgs); {
+		x := s.Msgs[i].Loc
 		var prevOld, prevNew Time
-		for k, i := range idx {
+		for first := true; i < len(s.Msgs) && s.Msgs[i].Loc == x; i++ {
 			told := s.Msgs[i].T
 			var tnew Time
-			if k == 0 {
+			if first {
 				tnew = told // the initialization message is at 0
 				if told != 0 {
 					tnew = 1 // cannot happen: init messages persist
 				}
+				first = false
 			} else {
 				gap := int(told - prevOld)
 				if gap > gapCap {
@@ -263,23 +338,22 @@ func (s *State) Canonicalize(gapCap int) {
 				}
 				tnew = prevNew + Time(gap)
 			}
-			m[told] = tnew
+			remap[int(x)*stride+int(told)] = tnew + 1
 			prevOld, prevNew = told, tnew
 		}
-		remap[x] = m
 	}
 	apply := func(v View) {
 		for x := range v {
-			if t, ok := remap[x][v[x]]; ok {
-				v[x] = t
-			}
 			// View components are always message timestamps (they are
 			// only ever set from message timestamps and joins thereof),
 			// so the lookup always succeeds.
+			if t := remap[x*stride+int(v[x])]; t != 0 {
+				v[x] = t - 1
+			}
 		}
 	}
 	for i := range s.Msgs {
-		s.Msgs[i].T = remap[s.Msgs[i].Loc][s.Msgs[i].T]
+		s.Msgs[i].T = remap[int(s.Msgs[i].Loc)*stride+int(s.Msgs[i].T)] - 1
 		apply(s.Msgs[i].View)
 	}
 	for i := range s.Views {

@@ -144,6 +144,24 @@ func (s State) Clone() State {
 	return State{Threads: ts}
 }
 
+// CopyFrom overwrites s with o, reusing s's register storage when the
+// shapes match. This is the pooled-scratch counterpart of Clone: explorers
+// that recycle frontier states copy into a pooled State instead of
+// allocating a fresh one per successor.
+func (s *State) CopyFrom(o State) {
+	if len(s.Threads) != len(o.Threads) {
+		s.Threads = make([]ThreadState, len(o.Threads))
+	}
+	for i := range o.Threads {
+		ts := &s.Threads[i]
+		ts.PC = o.Threads[i].PC
+		if len(ts.Regs) != len(o.Threads[i].Regs) {
+			ts.Regs = make([]lang.Val, len(o.Threads[i].Regs))
+		}
+		copy(ts.Regs, o.Threads[i].Regs)
+	}
+}
+
 // AssertFailure reports a violated assert instruction.
 type AssertFailure struct {
 	Tid  lang.Tid
@@ -220,6 +238,54 @@ func (t *Thread) EpsClose(ts ThreadState) (ThreadState, *AssertFailure) {
 	}
 }
 
+// epsCloseInPlace is EpsClose mutating ts directly: the caller owns
+// ts.Regs as scratch, so no copy-on-write is needed. It is the closure
+// step of the allocation-free ApplyInto kernel; the cycle-detection `seen`
+// map is only materialized past epsBudget steps (pathological spins).
+func (t *Thread) epsCloseInPlace(ts *ThreadState) *AssertFailure {
+	vc := t.prog.ValCount
+	steps := 0
+	var seen map[uint64]struct{}
+	for {
+		if ts.PC < 0 || ts.PC >= len(t.seq.Insts) {
+			ts.PC = len(t.seq.Insts) // canonical terminated pc
+			return nil
+		}
+		in := &t.seq.Insts[ts.PC]
+		if in.IsMem() {
+			return nil
+		}
+		switch in.Kind {
+		case lang.IAssign:
+			ts.Regs[in.Reg] = in.E.Eval(ts.Regs, vc)
+			ts.PC++
+		case lang.IGoto:
+			if in.E.Eval(ts.Regs, vc) != 0 {
+				ts.PC = in.Target
+			} else {
+				ts.PC++
+			}
+		case lang.IAssert:
+			if in.E.Eval(ts.Regs, vc) == 0 {
+				return &AssertFailure{Tid: t.tid, PC: ts.PC, Line: in.Line}
+			}
+			ts.PC++
+		}
+		steps++
+		if steps >= epsBudget {
+			if seen == nil {
+				seen = make(map[uint64]struct{})
+			}
+			key := t.hashLocal(*ts)
+			if _, dup := seen[key]; dup {
+				ts.PC = len(t.seq.Insts)
+				return nil
+			}
+			seen[key] = struct{}{}
+		}
+	}
+}
+
 // hashLocal hashes (pc, regs) for ε-cycle detection (FNV-1a).
 func (t *Thread) hashLocal(ts ThreadState) uint64 {
 	h := uint64(14695981039346656037)
@@ -250,28 +316,40 @@ func (t *Thread) AtEps(ts ThreadState) bool {
 // counterexample, where both threads sit on their loop branches holding
 // stale zeroes.
 func (t *Thread) StepEps(ts ThreadState) (ThreadState, *AssertFailure) {
+	next := ThreadState{Regs: make([]lang.Val, len(ts.Regs))}
+	if fail := t.StepEpsInto(ts, &next); fail != nil {
+		return ts, fail
+	}
+	return next, nil
+}
+
+// StepEpsInto is StepEps writing the successor into dst, whose Regs must
+// already have the thread's register count and must not alias ts.Regs.
+// Pooled-scratch explorers use it to step without allocating.
+func (t *Thread) StepEpsInto(ts ThreadState, dst *ThreadState) *AssertFailure {
 	vc := t.prog.ValCount
 	in := &t.seq.Insts[ts.PC]
-	next := ts.Clone()
+	dst.PC = ts.PC
+	copy(dst.Regs, ts.Regs)
 	switch in.Kind {
 	case lang.IAssign:
-		next.Regs[in.Reg] = in.E.Eval(ts.Regs, vc)
-		next.PC++
+		dst.Regs[in.Reg] = in.E.Eval(ts.Regs, vc)
+		dst.PC++
 	case lang.IGoto:
 		if in.E.Eval(ts.Regs, vc) != 0 {
-			next.PC = in.Target
+			dst.PC = in.Target
 		} else {
-			next.PC++
+			dst.PC++
 		}
 	case lang.IAssert:
 		if in.E.Eval(ts.Regs, vc) == 0 {
-			return ts, &AssertFailure{Tid: t.tid, PC: ts.PC, Line: in.Line}
+			return &AssertFailure{Tid: t.tid, PC: ts.PC, Line: in.Line}
 		}
-		next.PC++
+		dst.PC++
 	default:
 		panic("prog: StepEps on memory instruction")
 	}
-	return next, nil
+	return nil
 }
 
 // Op returns the thread's pending memory operation at ts (which must be
@@ -390,20 +468,25 @@ func SCLabel(op MemOp, cur lang.Val, valCount int) (lang.Label, bool) {
 // counterexample of §2.3 is a state whose pc sits on the branch after the
 // stale read).
 func (t *Thread) ApplyRaw(ts ThreadState, l lang.Label) ThreadState {
+	next := ThreadState{Regs: make([]lang.Val, len(ts.Regs))}
+	t.ApplyRawInto(ts, l, &next)
+	return next
+}
+
+// ApplyRawInto is ApplyRaw writing the successor into dst, whose Regs must
+// already have the thread's register count and must not alias ts.Regs.
+func (t *Thread) ApplyRawInto(ts ThreadState, l lang.Label, dst *ThreadState) {
 	in := &t.seq.Insts[ts.PC]
-	next := ts.Clone()
-	next.PC++
+	dst.PC = ts.PC + 1
+	copy(dst.Regs, ts.Regs)
 	switch in.Kind {
-	case lang.IRead, lang.IFADD, lang.IXCHG:
-		next.Regs[in.Reg] = l.VR
-	case lang.ICAS:
-		next.Regs[in.Reg] = l.VR
+	case lang.IRead, lang.IFADD, lang.IXCHG, lang.ICAS:
+		dst.Regs[in.Reg] = l.VR
 	case lang.IWrite, lang.IWait, lang.IBCAS:
 		// no register update
 	default:
 		panic("prog: Apply on ε-instruction")
 	}
-	return next
 }
 
 // Apply is ApplyRaw followed by ε-closure: the transition granularity at
@@ -413,13 +496,29 @@ func (t *Thread) Apply(ts ThreadState, l lang.Label) (ThreadState, *AssertFailur
 	return t.EpsClose(t.ApplyRaw(ts, l))
 }
 
+// ApplyInto is Apply writing the successor into per-worker scratch dst
+// (same Regs contract as ApplyRawInto): the clone-free step kernel of the
+// exploration hot loop. The caller typically swaps dst into its current
+// State for encoding and swaps the original back afterwards, so the whole
+// expand-encode-intern cycle touches no heap.
+func (t *Thread) ApplyInto(ts ThreadState, l lang.Label, dst *ThreadState) *AssertFailure {
+	t.ApplyRawInto(ts, l, dst)
+	return t.epsCloseInPlace(dst)
+}
+
 // Ops returns the pending memory operation of every thread at state s.
 func (p *P) Ops(s State) []MemOp {
 	ops := make([]MemOp, len(p.Threads))
-	for i := range p.Threads {
-		ops[i] = p.Threads[i].Op(s.Threads[i])
-	}
+	p.OpsInto(ops, s)
 	return ops
+}
+
+// OpsInto fills dst (length = number of threads) with the pending memory
+// operation of every thread at state s — Ops into caller scratch.
+func (p *P) OpsInto(dst []MemOp, s State) {
+	for i := range p.Threads {
+		dst[i] = p.Threads[i].Op(s.Threads[i])
+	}
 }
 
 // AllTerminated reports whether every thread of s has terminated.

@@ -1,0 +1,94 @@
+package scm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/prog"
+	"repro/internal/scm"
+)
+
+// fuzzMonitors builds one monitor per Figure 7 benchmark program, covering
+// a spread of ⟨threads, locations, value-domain⟩ shapes — and with it every
+// component-width combination Encode can produce (locBytes and valBytes
+// both vary across the corpus).
+func fuzzMonitors(tb testing.TB) []*scm.Monitor {
+	tb.Helper()
+	var mons []*scm.Monitor
+	for _, e := range litmus.Fig7() {
+		p := e.Program()
+		na := make([]bool, len(p.Locs))
+		for i, li := range p.Locs {
+			na[i] = li.NA
+		}
+		mons = append(mons, scm.NewMonitor(p.NumThreads(), p.NumLocs(), p.ValCount, prog.CriticalVals(p), na))
+	}
+	if len(mons) == 0 {
+		tb.Fatal("no Figure 7 programs registered")
+	}
+	return mons
+}
+
+// buildState fills a monitor state from fuzz data: memory values stay in
+// the value domain; the bitset words take arbitrary 64-bit patterns (Encode
+// truncates each word to its component width, so the encoding of the
+// decoded state is the projection the round trip must preserve). The data
+// is consumed cyclically so short inputs still reach every field.
+func buildState(mon *scm.Monitor, s *scm.State, data []byte) {
+	k := 0
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[k%len(data)]
+		k++
+		return b
+	}
+	for i := range s.M {
+		s.M[i] = lang.Val(int(next()) % mon.ValCount)
+	}
+	for i := range s.B {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w = w<<8 | uint64(next())
+		}
+		s.B[i] = w
+	}
+}
+
+// FuzzEncodeRoundTrip checks the SCM state encoding used for visited-set
+// hashing and frontier payloads: Encode must consume exactly EncodedLen
+// bytes, Decode must consume what Encode produced, and the encoding must be
+// stable under a decode/re-encode cycle (equal encodings ⇔ equal states up
+// to component width). Seeded with the initial and one stepped monitor
+// state per Figure 7 shape; `go test` runs seeds only.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	mons := fuzzMonitors(f)
+	for i, mon := range mons {
+		s := mon.Init()
+		f.Add(uint8(i), mon.Encode(nil, s))
+		// A non-initial seed: one write and one read stepped on the state.
+		mon.Step(s, 0, lang.WriteLab(0, 1))
+		mon.Step(s, lang.Tid(mon.T-1), lang.ReadLab(0, 1))
+		f.Add(uint8(i), mon.Encode(nil, s))
+	}
+	f.Fuzz(func(t *testing.T, mi uint8, data []byte) {
+		mon := mons[int(mi)%len(mons)]
+		s := mon.Init()
+		buildState(mon, s, data)
+
+		enc := mon.Encode(nil, s)
+		if len(enc) != mon.EncodedLen() {
+			t.Fatalf("Encode produced %d bytes, EncodedLen says %d", len(enc), mon.EncodedLen())
+		}
+		var dec scm.State
+		if n := mon.Decode(enc, &dec); n != len(enc) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(enc))
+		}
+		if again := mon.Encode(nil, &dec); !bytes.Equal(enc, again) {
+			t.Fatalf("encoding not stable under decode/re-encode:\n  %x\n  %x", enc, again)
+		}
+	})
+}

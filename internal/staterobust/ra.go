@@ -52,6 +52,42 @@ func CheckSRA(program *lang.Program, lim Limits) (*Result, error) {
 	return checkWeakRA(program, lim, true)
 }
 
+// raScratch is the per-worker expansion state of checkWeakRA: the encode
+// buffer, candidate/slot buffers for the memra Append* enumerators, and
+// free lists of product states. Successor states are drawn from the pools
+// (CopyFrom into recycled storage) instead of cloned, and return to the
+// expanding worker's pool when the store reports a duplicate or when their
+// node has been fully expanded; a state pushed by one worker and expanded
+// by another simply migrates pools, with the engine's batch hand-off lock
+// providing the happens-before edge.
+type raScratch struct {
+	buf    []byte
+	cands  []memra.Msg
+	slots  []memra.Time
+	psPool []prog.State
+	mPool  []*memra.State
+}
+
+func (ws *raScratch) takePS(from prog.State) prog.State {
+	if n := len(ws.psPool); n > 0 {
+		ps := ws.psPool[n-1]
+		ws.psPool = ws.psPool[:n-1]
+		ps.CopyFrom(from)
+		return ps
+	}
+	return from.Clone()
+}
+
+func (ws *raScratch) takeM(from *memra.State) *memra.State {
+	if n := len(ws.mPool); n > 0 {
+		m := ws.mPool[n-1]
+		ws.mPool = ws.mPool[:n-1]
+		m.CopyFrom(from)
+		return m
+	}
+	return from.Clone()
+}
+
 // checkWeakRA runs on the shared parallel engine (explore.RunParallel over
 // an explore.Sharded visited set): frontier items carry the decoded
 // product state ⟨program state, RA memory⟩, workers share the read-only
@@ -78,12 +114,15 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	store := explore.NewSharded(false)
-	bufs := make([][]byte, workers)
-	key := func(w int, ps prog.State, m *memra.State) []byte {
-		buf := bufs[w][:0]
+	scratches := make([]*raScratch, workers)
+	for w := range scratches {
+		scratches[w] = &raScratch{buf: make([]byte, 0, 64)}
+	}
+	key := func(ws *raScratch, ps prog.State, m *memra.State) []byte {
+		buf := ws.buf[:0]
 		buf = p.EncodeStateRaw(buf, ps)
 		buf = m.Encode(buf)
-		bufs[w] = buf
+		ws.buf = buf
 		return buf
 	}
 
@@ -115,10 +154,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 
 	ps0 := p.InitStateRaw()
 	m0 := memra.New(program.NumLocs(), program.NumThreads())
-	for w := range bufs {
-		bufs[w] = make([]byte, 0, 64)
-	}
-	rootID, _ := store.Add(key(0, ps0, m0), -1, explore.Step{})
+	rootID, _ := store.Add(key(scratches[0], ps0, m0), -1, explore.Step{})
 	if check(rootID, ps0) {
 		res.Robust = false
 		res.WitnessTrace = store.Trace(rootID)
@@ -134,21 +170,27 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 			mu.Unlock()
 			return false
 		}
+		ws := scratches[w]
 		n := it.St
 		// emit interns one successor reached by a program step with the
-		// given label and RA memory effect (already performed on nextM);
-		// it reports whether the successor witnesses non-robustness.
+		// given label and RA memory effect (already performed on nextM, a
+		// pooled state owned by this call); it reports whether the
+		// successor witnesses non-robustness. Duplicates return nextM (and
+		// the pooled program state) to the worker's free lists.
 		emit := func(t int, label lang.Label, nextM *memra.State) bool {
-			nextPS := n.ps.Clone()
-			nextPS.Threads[t] = p.Threads[t].ApplyRaw(n.ps.Threads[t], label)
+			nextPS := ws.takePS(n.ps)
+			p.Threads[t].ApplyRawInto(n.ps.Threads[t], label, &nextPS.Threads[t])
 			nextM.Canonicalize(gapCap)
-			id, isNew := store.Add(key(w, nextPS, nextM), it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
-			if isNew {
-				if check(id, nextPS) {
-					return true
-				}
-				push(explore.Item[node]{ID: id, St: node{nextPS, nextM}})
+			id, isNew := store.Add(key(ws, nextPS, nextM), it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
+			if !isNew {
+				ws.psPool = append(ws.psPool, nextPS)
+				ws.mPool = append(ws.mPool, nextM)
+				return false
 			}
+			if check(id, nextPS) {
+				return true
+			}
+			push(explore.Item[node]{ID: id, St: node{nextPS, nextM}})
 			return false
 		}
 		for t := range p.Threads {
@@ -159,53 +201,57 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 				continue
 			}
 			if th.AtEps(ts) {
-				nextTS, afail := th.StepEps(ts)
-				if afail != nil {
+				nextPS := ws.takePS(n.ps)
+				if afail := th.StepEpsInto(ts, &nextPS.Threads[t]); afail != nil {
+					ws.psPool = append(ws.psPool, nextPS)
 					continue
 				}
-				nextPS := n.ps.Clone()
-				nextPS.Threads[t] = nextTS
-				id, isNew := store.Add(key(w, nextPS, n.m), it.ID,
-					explore.Step{Tid: tid, Internal: "eps"})
-				if isNew {
-					if check(id, nextPS) {
-						return false
-					}
-					push(explore.Item[node]{ID: id, St: node{nextPS, n.m.Clone()}})
+				id, isNew := store.Add(key(ws, nextPS, n.m), it.ID,
+					explore.Step{Tid: tid, Internal: explore.IntEps})
+				if !isNew {
+					ws.psPool = append(ws.psPool, nextPS)
+					continue
 				}
+				if check(id, nextPS) {
+					return false
+				}
+				push(explore.Item[node]{ID: id, St: node{nextPS, ws.takeM(n.m)}})
 				continue
 			}
 			op := th.Op(ts)
 			switch op.Kind {
 			case prog.OpWrite:
-				slots := n.m.WriteSlots(tid, op.Loc, headroom)
 				if sra {
-					slots = []memra.Time{n.m.WriteSlotSRA(op.Loc)}
+					ws.slots = append(ws.slots[:0], n.m.WriteSlotSRA(op.Loc))
+				} else {
+					ws.slots = n.m.AppendWriteSlots(ws.slots[:0], tid, op.Loc, headroom)
 				}
-				for _, slot := range slots {
-					nextM := n.m.Clone()
+				for _, slot := range ws.slots {
+					nextM := ws.takeM(n.m)
 					nextM.Write(tid, op.Loc, op.WVal, slot)
 					if emit(t, lang.WriteLab(op.Loc, op.WVal), nextM) {
 						return false
 					}
 				}
 			case prog.OpRead, prog.OpWait:
-				for _, msg := range n.m.ReadCandidates(tid, op.Loc) {
+				ws.cands = n.m.AppendReadCandidates(ws.cands[:0], tid, op.Loc)
+				for _, msg := range ws.cands {
 					if op.Kind == prog.OpWait && msg.Val != op.WVal {
 						continue
 					}
-					nextM := n.m.Clone()
+					nextM := ws.takeM(n.m)
 					nextM.Read(tid, msg)
 					if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
 						return false
 					}
 				}
 			case prog.OpFADD, prog.OpXCHG, prog.OpCAS, prog.OpBCAS:
-				rmwCands := n.m.RMWCandidates(tid, op.Loc)
 				if sra {
-					rmwCands = n.m.RMWCandidatesSRA(tid, op.Loc)
+					ws.cands = n.m.AppendRMWCandidatesSRA(ws.cands[:0], tid, op.Loc)
+				} else {
+					ws.cands = n.m.AppendRMWCandidates(ws.cands[:0], tid, op.Loc)
 				}
-				for _, msg := range rmwCands {
+				for _, msg := range ws.cands {
 					var vW lang.Val
 					switch op.Kind {
 					case prog.OpFADD:
@@ -218,7 +264,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 						}
 						vW = op.New
 					}
-					nextM := n.m.Clone()
+					nextM := ws.takeM(n.m)
 					nextM.RMW(tid, msg, vW)
 					if emit(t, lang.RMWLab(op.Loc, msg.Val, vW), nextM) {
 						return false
@@ -228,11 +274,12 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 					// Failed CAS: a plain read of any value ≠ Exp
 					// (Figure 2). Unlike the RMW case, any readable
 					// message qualifies.
-					for _, msg := range n.m.ReadCandidates(tid, op.Loc) {
+					ws.cands = n.m.AppendReadCandidates(ws.cands[:0], tid, op.Loc)
+					for _, msg := range ws.cands {
 						if msg.Val == op.Exp {
 							continue
 						}
-						nextM := n.m.Clone()
+						nextM := ws.takeM(n.m)
 						nextM.Read(tid, msg)
 						if emit(t, lang.ReadLab(op.Loc, msg.Val), nextM) {
 							return false
@@ -241,6 +288,9 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 				}
 			}
 		}
+		// The node is fully expanded; its states feed the free lists.
+		ws.psPool = append(ws.psPool, n.ps)
+		ws.mPool = append(ws.mPool, n.m)
 		return true
 	}
 

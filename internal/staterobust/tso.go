@@ -38,12 +38,14 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 	store := explore.NewStore()
 	var queue explore.Queue[node]
 	weak := map[string]struct{}{}
+	// key encodes into a reused buffer; the store interns the bytes in its
+	// arena, so no per-Add string materialization is needed.
 	var buf []byte
-	key := func(ps prog.State, m *memtso.State) string {
+	key := func(ps prog.State, m *memtso.State) []byte {
 		buf = buf[:0]
 		buf = p.EncodeStateRaw(buf, ps)
 		buf = m.Encode(buf)
-		return string(buf)
+		return buf
 	}
 	check := func(id int32, ps prog.State) bool {
 		pk := p.StateKeyRaw(ps)
@@ -59,7 +61,7 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 		}
 		return false
 	}
-	root := store.Root(key(ps0, memtso.New(program.NumLocs(), program.NumThreads())))
+	root, _ := store.AddBytes(key(ps0, memtso.New(program.NumLocs(), program.NumThreads())), -1, explore.Step{})
 	queue.Push(root, node{ps0, memtso.New(program.NumLocs(), program.NumThreads())})
 	if check(root, ps0) {
 		res.Explored = store.Len()
@@ -89,8 +91,8 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 				}
 				nextPS := n.ps.Clone()
 				nextPS.Threads[t] = nextTS
-				id, isNew := store.Add(key(nextPS, n.m), item.ID,
-					explore.Step{Tid: tid, Internal: "eps"})
+				id, isNew := store.AddBytes(key(nextPS, n.m), item.ID,
+					explore.Step{Tid: tid, Internal: explore.IntEps})
 				if isNew {
 					if check(id, nextPS) {
 						res.Explored = store.Len()
@@ -138,7 +140,7 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 			case lang.LRMW:
 				nextM.RMW(tid, label.Loc, label.VR, label.VW)
 			}
-			id, isNew := store.Add(key(nextPS, nextM), item.ID, explore.Step{Tid: tid, Lab: label})
+			id, isNew := store.AddBytes(key(nextPS, nextM), item.ID, explore.Step{Tid: tid, Lab: label})
 			if isNew {
 				if check(id, nextPS) {
 					res.Explored = store.Len()
@@ -156,8 +158,8 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 			}
 			nextM := n.m.Clone()
 			nextM.Flush(tid)
-			id, isNew := store.Add(key(n.ps, nextM), item.ID,
-				explore.Step{Tid: tid, Internal: "flush"})
+			id, isNew := store.AddBytes(key(n.ps, nextM), item.ID,
+				explore.Step{Tid: tid, Internal: explore.IntFlush})
 			if isNew {
 				queue.Push(id, node{n.ps.Clone(), nextM})
 			}
