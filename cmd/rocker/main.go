@@ -21,9 +21,11 @@
 //	-stats        print exploration statistics (states/sec, heap, GC cycles)
 //	-cpuprofile f write a CPU profile to f (go tool pprof)
 //	-memprofile f write a heap profile to f on exit
+//	-timeout d    abort after a wall-clock deadline (e.g. -timeout 30s)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,9 +57,17 @@ func run() int {
 	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
 	list := flag.Bool("list", false, "list built-in corpus programs")
 	all := flag.Bool("all", false, "verify the whole corpus and compare against the expected verdicts")
+	timeout := flag.Duration("timeout", 0, "abort verification after this long (0 = no deadline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -91,7 +101,7 @@ func run() int {
 				continue
 			}
 			p := e.Program()
-			v, err := core.Verify(p, core.Options{AbstractVals: !*full, Workers: *workers})
+			v, err := core.Verify(p, core.Options{AbstractVals: !*full, Workers: *workers, Ctx: ctx})
 			if err != nil {
 				fatal(err)
 			}
@@ -159,6 +169,7 @@ func run() int {
 		HashCompact:  *hashCompact,
 		MaxStates:    *maxStates,
 		Workers:      *workers,
+		Ctx:          ctx,
 	})
 	if err != nil {
 		fatal(err)

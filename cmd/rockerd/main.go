@@ -1,0 +1,88 @@
+// Command rockerd serves the robustness verifier over HTTP: a job queue
+// with bounded concurrency and backpressure, per-job deadlines with
+// cooperative cancellation, an LRU verdict cache keyed by the canonical
+// LTS digest, live progress via polling and NDJSON streaming, and
+// graceful drain on SIGTERM. See docs/rockerd.md for the API.
+//
+// Usage:
+//
+//	rockerd [-addr :8723] [-jobs N] [-queue N] [-cache N]
+//	        [-job-timeout d] [-max-timeout d] [-max N] [-workers N]
+//	        [-drain-timeout d]
+//
+// A quick round trip:
+//
+//	curl -s --data-binary @prog.lit localhost:8723/v1/verify?wait=1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	jobs := flag.Int("jobs", 2, "concurrently running verification jobs")
+	queueDepth := flag.Int("queue", 8, "admission queue depth beyond running jobs")
+	cacheSize := flag.Int("cache", 256, "verdict cache capacity (entries)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	maxStates := flag.Int("max", 8<<20, "per-job explored-state bound")
+	workers := flag.Int("workers", 0, "exploration workers per job (0 = all cores)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long SIGTERM waits for in-flight jobs before force-canceling them")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MaxJobs:        *jobs,
+		MaxQueue:       *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxStates:      *maxStates,
+		Workers:        *workers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rockerd: listening on %s (%d jobs, queue %d)", *addr, *jobs, *queueDepth)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("rockerd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections (in-flight requests —
+	// including long polls and streams — get the drain window to finish),
+	// then drain the job pool.
+	log.Printf("rockerd: signal received, draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	_ = hs.Shutdown(dctx)
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("rockerd: %v", err)
+		fmt.Fprintln(os.Stderr, "rockerd: forced shutdown")
+		os.Exit(1)
+	}
+	log.Printf("rockerd: drained cleanly")
+}

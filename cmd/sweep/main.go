@@ -7,10 +7,16 @@
 //
 // Usage:
 //
-//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N]
+//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N] [-timeout d]
+//
+// With -timeout, each sweep point is abandoned (and reported as such)
+// once the per-point deadline expires, so a sweep past the machine's
+// comfort zone degrades into "timed out" rows instead of hanging.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ func main() {
 	rounds := flag.Int("rounds", 2, "acquisitions per thread")
 	withLamport := flag.Bool("lamport", false, "include the Lamport sweep (minutes at 3 threads)")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-point deadline (0 = none)")
 	flag.Parse()
 
 	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
@@ -36,7 +43,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers})
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx})
+		if errors.Is(err, core.ErrCanceled) {
+			fmt.Printf("%-22s %10s %12s\n", name, "-", "timed out")
+			return
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", name, err)
 			return
@@ -45,7 +62,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", name, "unexpectedly non-robust")
 			return
 		}
-		sc, err := core.VerifySC(p, core.Options{Workers: *workers})
+		sc, err := core.VerifySC(p, core.Options{Workers: *workers, Ctx: ctx})
+		if errors.Is(err, core.ErrCanceled) {
+			fmt.Printf("%-22s %10d %12v %10s %12s\n", name, v.States, v.Elapsed.Round(time.Millisecond), "-", "timed out")
+			return
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", name, err)
 			return

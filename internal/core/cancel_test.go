@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+)
+
+// cancelRows are Figure-7 rows whose SCM state spaces comfortably outlast
+// a cancellation fired 512 expansions in (ticketlock4 ≈ 10³ states,
+// lamport2-ra ≈ 7.5·10³).
+var cancelRows = []string{"ticketlock4", "lamport2-ra"}
+
+// TestVerifyPreCanceled checks that a context canceled before Verify
+// starts yields ErrCanceled — never a verdict — in both engines and both
+// SCM and plain-SC modes.
+func TestVerifyPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range cancelRows {
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		for _, workers := range []int{1, 4} {
+			opts := core.Options{AbstractVals: true, Workers: workers, Ctx: ctx}
+			if v, err := core.Verify(p, opts); !errors.Is(err, core.ErrCanceled) || v != nil {
+				t.Errorf("%s workers=%d: Verify = (%v, %v), want ErrCanceled", name, workers, v, err)
+			}
+			if v, err := core.VerifySC(p, opts); !errors.Is(err, core.ErrCanceled) || v != nil {
+				t.Errorf("%s workers=%d: VerifySC = (%v, %v), want ErrCanceled", name, workers, v, err)
+			}
+		}
+	}
+}
+
+// TestVerifyCancelMidExploration cancels from the progress hook once real
+// work is under way and checks that Verify stops promptly with ErrCanceled
+// (wrapping the context's cause) instead of completing or returning a
+// partial verdict. Runs both the sequential and the parallel engine; the
+// race detector guards the hook's concurrency contract.
+func TestVerifyCancelMidExploration(t *testing.T) {
+	for _, name := range cancelRows {
+		e, err := litmus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Program()
+		for _, workers := range []int{1, 4} {
+			ctx, cancel := context.WithCancel(context.Background())
+			var fired atomic.Bool
+			v, err := core.Verify(p, core.Options{
+				AbstractVals:  true,
+				Workers:       workers,
+				Ctx:           ctx,
+				ProgressEvery: 512,
+				Progress: func(pr core.Progress) {
+					if pr.Expanded >= 512 {
+						fired.Store(true)
+						cancel()
+					}
+				},
+			})
+			cancel()
+			if !fired.Load() {
+				t.Fatalf("%s workers=%d: exploration finished before the hook fired", name, workers)
+			}
+			if v != nil || !errors.Is(err, core.ErrCanceled) {
+				t.Errorf("%s workers=%d: Verify = (%v, %v), want ErrCanceled", name, workers, v, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: error %v does not wrap context.Canceled", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestVerifyDeadline checks the context.WithTimeout path end to end: a
+// deadline far below the row's runtime interrupts the run and surfaces
+// DeadlineExceeded as the cause.
+func TestVerifyDeadline(t *testing.T) {
+	e, err := litmus.Get("lamport2-ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	v, err := core.Verify(e.Program(), core.Options{AbstractVals: true, Ctx: ctx})
+	if v != nil || !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Verify = (%v, %v), want ErrCanceled wrapping DeadlineExceeded", v, err)
+	}
+}
+
+// TestVerifyBackgroundCtxUnchanged checks that merely supplying a live
+// context does not perturb verdicts or state counts.
+func TestVerifyBackgroundCtxUnchanged(t *testing.T) {
+	e, err := litmus.Get("SB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Verify(e.Program(), core.Options{AbstractVals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := core.Verify(e.Program(), core.Options{AbstractVals: true, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Robust != withCtx.Robust || plain.States != withCtx.States {
+		t.Errorf("ctx perturbed the run: (%v,%d) vs (%v,%d)",
+			plain.Robust, plain.States, withCtx.Robust, withCtx.States)
+	}
+}

@@ -22,6 +22,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -73,7 +75,49 @@ type Options struct {
 	// Verdicts are worker-count-independent; on full (robust) runs so is
 	// the state count. Only counterexample traces may differ.
 	Workers int
+	// Ctx, when non-nil, bounds the verification by a deadline or an
+	// explicit cancellation: the exploration polls it cooperatively (every
+	// few hundred expansions at most) and a cancelled run returns
+	// ErrCanceled — never a partial or wrong verdict. Robustness checking
+	// is PSPACE-hard in general, so long-running callers (the rockerd
+	// service, CLI -timeout flags) must be able to bail out cleanly.
+	Ctx context.Context
+	// Progress, when non-nil, is called with a snapshot of the running
+	// exploration every ProgressEvery expanded states. It may be invoked
+	// concurrently from worker goroutines and must be cheap and
+	// goroutine-safe; it must not retain the snapshot's identity beyond
+	// the call (the values are plain counters, safe to copy).
+	Progress func(Progress)
+	// ProgressEvery is the number of expanded states between Progress
+	// calls; 0 means 4096.
+	ProgressEvery int
 }
+
+// Progress is a live snapshot of a running exploration, delivered to
+// Options.Progress. The frontier depth is States - Expanded: every
+// interned state is eventually expanded exactly once.
+type Progress struct {
+	// States is the number of distinct states interned so far.
+	States int
+	// Expanded is the number of states fully expanded so far.
+	Expanded int64
+}
+
+// ErrCanceled is returned (wrapped, with the context's cause) when
+// Options.Ctx is cancelled before the exploration completes. A cancelled
+// run never reports a verdict: the state space was only partially
+// explored, so "robust so far" would be unsound to return.
+var ErrCanceled = errors.New("core: verification canceled")
+
+// canceled wraps ctx's cause in ErrCanceled.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// ctxPollMask gates the sequential loops' context polls: the context is
+// checked every ctxPollMask+1 expansions, which bounds the number of
+// expansions a cancelled sequential run performs before stopping.
+const ctxPollMask = 255
 
 // DefaultOptions returns the standard configuration (abstract values on,
 // no state bound, exact visited set, parallel exploration).
@@ -217,6 +261,13 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
 	finish := func() (*Verdict, error) {
+		// A canceled run never reports a verdict, even if exploration
+		// happened to finish before the poll noticed: the caller asked for
+		// cancellation, and a deterministic ErrCanceled is what the
+		// service layer's "canceled, not a verdict" contract needs.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, canceled(opts.Ctx)
+		}
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil
 	}
@@ -259,6 +310,11 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		return !opts.KeepAllViolations
 	}
 
+	every := int64(opts.ProgressEvery)
+	if every <= 0 {
+		every = 4096
+	}
+	expanded := int64(0)
 	next := int32(0)
 	for {
 		var item explore.QItem[[]byte]
@@ -276,6 +332,13 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
+		}
+		if opts.Ctx != nil && expanded&ctxPollMask == 0 && opts.Ctx.Err() != nil {
+			return nil, canceled(opts.Ctx)
+		}
+		expanded++
+		if opts.Progress != nil && expanded%every == 0 {
+			opts.Progress(Progress{States: store.Len(), Expanded: expanded})
 		}
 		itemKey := item.St
 		n := v.p.DecodeState(itemKey, ws.cur)

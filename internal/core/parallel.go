@@ -12,6 +12,19 @@ import (
 	"repro/internal/scm"
 )
 
+// engineOpts translates Options' cancellation and progress hooks into the
+// parallel engine's RunOpts, closing over the store for the interned-state
+// count. Both parallel explorers (RA/SCM and plain SC) use it.
+func engineOpts(opts Options, store *explore.Sharded) explore.RunOpts {
+	ro := explore.RunOpts{Ctx: opts.Ctx, ProgressEvery: int64(opts.ProgressEvery)}
+	if opts.Progress != nil {
+		ro.Progress = func(expanded int64) {
+			opts.Progress(Progress{States: store.Len(), Expanded: expanded})
+		}
+	}
+	return ro
+}
+
 // verifyParallel is the multi-worker counterpart of Verify's exploration
 // loop: N workers expand frontier states concurrently against a sharded
 // visited set, each with private decode/expansion scratch (the compiled
@@ -154,8 +167,11 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 		return true
 	}
 
-	explore.RunParallel(workers, roots, expand)
+	explore.RunParallelOpts(workers, roots, expand, engineOpts(opts, store))
 	// Workers have quiesced: the shared slots and the store are stable.
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, canceled(opts.Ctx)
+	}
 	verdict.States = store.Len()
 	if bound {
 		return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
@@ -259,7 +275,10 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 		return true
 	}
 
-	explore.RunParallel(workers, roots, expand)
+	explore.RunParallelOpts(workers, roots, expand, engineOpts(opts, store))
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, canceled(opts.Ctx)
+	}
 	verdict.States = store.Len()
 	verdict.AssertFail = assertFail
 	if bound {

@@ -93,11 +93,18 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	}
 	p := prog.New(program)
 	verdict := &SCVerdict{}
+	finish := func() (*SCVerdict, error) {
+		// Mirror Verify: a canceled run yields ErrCanceled, never a verdict.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, canceled(opts.Ctx)
+		}
+		verdict.Elapsed = time.Since(start)
+		return verdict, nil
+	}
 	ps0, fail := p.InitState()
 	if fail != nil {
 		verdict.AssertFail = fail
-		verdict.Elapsed = time.Since(start)
-		return verdict, nil
+		return finish()
 	}
 	var store *explore.Store
 	if opts.HashCompact {
@@ -115,6 +122,11 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	}
 	// Exact mode: the dense id sequence is the implicit FIFO frontier
 	// (see Verify); the queue is only used in hash-compact mode.
+	every := int64(opts.ProgressEvery)
+	if every <= 0 {
+		every = 4096
+	}
+	expanded := int64(0)
 	next := int32(0)
 	for {
 		var item explore.QItem[[]byte]
@@ -132,6 +144,13 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, ErrStateBound
+		}
+		if opts.Ctx != nil && expanded&ctxPollMask == 0 && opts.Ctx.Err() != nil {
+			return nil, canceled(opts.Ctx)
+		}
+		expanded++
+		if opts.Progress != nil && expanded%every == 0 {
+			opts.Progress(Progress{States: store.Len(), Expanded: expanded})
 		}
 		itemKey := item.St
 		n := p.DecodeState(itemKey, ws.cur)
@@ -151,8 +170,7 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 			if afail != nil {
 				verdict.AssertFail = afail
 				verdict.States = store.Len()
-				verdict.Elapsed = time.Since(start)
-				return verdict, nil
+				return finish()
 			}
 			savedTS := ws.cur.Threads[t]
 			savedVal := ws.mem[op.Loc]
@@ -170,6 +188,5 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		}
 	}
 	verdict.States = store.Len()
-	verdict.Elapsed = time.Since(start)
-	return verdict, nil
+	return finish()
 }

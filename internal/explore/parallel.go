@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,10 +44,41 @@ const batchSize = 64
 // nondeterministic frontier cut; only which counterexample is found may
 // vary, never whether one exists.
 func RunParallel[T any](workers int, roots []Item[T], expand Expand[T]) bool {
+	return RunParallelOpts(workers, roots, expand, RunOpts{})
+}
+
+// RunOpts extends RunParallel with cooperative cancellation and a progress
+// hook. The zero value is RunParallel's behaviour.
+type RunOpts struct {
+	// Ctx, when non-nil, cancels the search cooperatively: workers observe
+	// the cancellation between frontier batches, so at most
+	// workers·batchSize further items are expanded after it fires. A
+	// cancelled run returns false, exactly like an Expand-initiated cancel;
+	// the caller distinguishes the two by inspecting Ctx.Err itself.
+	Ctx context.Context
+	// Progress, when non-nil, is invoked from a worker goroutine each time
+	// the cumulative expanded-item count crosses a multiple of
+	// ProgressEvery, with that count. It runs concurrently with other
+	// workers' expansions (and possibly with other Progress calls), so it
+	// must be cheap and goroutine-safe.
+	Progress func(expanded int64)
+	// ProgressEvery is the number of expanded items between Progress
+	// calls; 0 means 4096. The boundary is detected at batch granularity,
+	// so calls land within batchSize items of the exact multiple.
+	ProgressEvery int64
+}
+
+// RunParallelOpts is RunParallel with cancellation and progress reporting
+// (see RunOpts). It returns false when the search was cancelled — by an
+// Expand call or by opts.Ctx — and true when the frontier was exhausted.
+func RunParallelOpts[T any](workers int, roots []Item[T], expand Expand[T], opts RunOpts) bool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &engine[T]{}
+	e := &engine[T]{ctx: opts.Ctx, progress: opts.Progress, every: opts.ProgressEvery}
+	if e.every <= 0 {
+		e.every = 4096
+	}
 	e.cond = sync.NewCond(&e.mu)
 	if len(roots) > 0 {
 		e.batches = append(e.batches, roots)
@@ -65,6 +97,11 @@ func RunParallel[T any](workers int, roots []Item[T], expand Expand[T]) bool {
 }
 
 type engine[T any] struct {
+	ctx      context.Context
+	progress func(expanded int64)
+	every    int64
+	expanded atomic.Int64
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	batches [][]Item[T]
@@ -98,6 +135,10 @@ func (e *engine[T]) work(w int, expand Expand[T]) {
 		}
 	}
 	for {
+		if !e.note(0) {
+			e.cancel()
+			return
+		}
 		batch := e.take()
 		if batch == nil {
 			return
@@ -115,7 +156,25 @@ func (e *engine[T]) work(w int, expand Expand[T]) {
 		// list; reuse only overwrites slots up to the next batch's length.
 		clear(batch)
 		out = e.finish(len(batch), out, batch)
+		if !e.note(len(batch)) {
+			e.cancel()
+			return
+		}
 	}
+}
+
+// note accounts a processed batch against the progress and cancellation
+// hooks; it reports whether the worker should keep going. Both checks run
+// at batch granularity to keep their cost (an atomic add, a context poll)
+// off the per-item hot path.
+func (e *engine[T]) note(processed int) bool {
+	if processed > 0 {
+		total := e.expanded.Add(int64(processed))
+		if e.progress != nil && total/e.every != (total-int64(processed))/e.every {
+			e.progress(total)
+		}
+	}
+	return e.ctx == nil || e.ctx.Err() == nil
 }
 
 // take claims one batch of frontier items, blocking while the frontier is

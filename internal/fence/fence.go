@@ -219,7 +219,11 @@ func Enforce(p *lang.Program, opts Options) ([]Placement, *lang.Program, error) 
 	if opts.MaxRepairs <= 0 {
 		opts.MaxRepairs = 4
 	}
-	if opts.Verify == (core.Options{}) {
+	// Options carries funcs (progress hooks) and so is not comparable;
+	// detect a zero value field-wise to install the defaults.
+	if v := opts.Verify; !v.AbstractVals && v.Model == core.ModelRA && v.MaxStates == 0 &&
+		!v.KeepAllViolations && !v.HashCompact && v.Workers == 0 &&
+		v.Ctx == nil && v.Progress == nil && v.ProgressEvery == 0 {
 		opts.Verify = core.DefaultOptions()
 	}
 	robust := func(q *lang.Program) (bool, error) {

@@ -1,0 +1,19 @@
+package parser
+
+import "fmt"
+
+// Error is a structured parse error: a 1-based source position and a
+// message. Every error produced by the lexer and parser proper is an
+// *Error (retrievable with errors.As), so callers — the rockerd service's
+// machine-readable 400 responses in particular — can point at the
+// offending line:column instead of re-parsing an error string. Validation
+// errors raised by lang.Program.Validate after parsing carry no position.
+type Error struct {
+	Line int    // 1-based source line
+	Col  int    // 1-based column (first byte of the offending token)
+	Msg  string // human-readable description, without the position
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}

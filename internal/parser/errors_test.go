@@ -1,0 +1,53 @@
+package parser
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStructuredErrors feeds a corpus of malformed programs through Parse
+// and checks that every failure is a *Error carrying the position of the
+// offending token, not just a prose message.
+func TestStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"stray amp", "vals 4\nlocs x\nthread p\n  r0 := 1 & 2\nend\n", 4, 11},
+		{"stray pipe", "vals 4\nlocs x\nthread p\n  r0 := 1 | 2\nend\n", 4, 11},
+		{"bad char", "vals 4\nlocs $x\n", 2, 6},
+		{"unknown decl", "vals 4\nglobals x\n", 2, 1},
+		{"vals range", "vals 99\n", 1, 6},
+		{"dup loc", "locs x\nlocs y x\n", 2, 8},
+		{"loc vs array", "array b 2\nlocs b\n", 2, 6},
+		{"dup array", "array b 2\narray b 3\n", 2, 7},
+		{"array size", "array b 99\n", 1, 9},
+		{"unknown loc", "vals 4\nlocs x\nthread p\n  r0 := FADD(y, 1)\nend\n", 4, 14},
+		{"undefined label", "locs x\nthread p\n  goto nowhere\nend\n", 3, 8},
+		{"dup label", "locs x\nthread p\nL:\nL:\n  skip\nend\n", 4, 1},
+		{"missing goto", "locs x\nthread p\n  if 1 jump L\nend\n", 3, 8},
+		{"wait not eq", "locs x\nthread p\n  wait(x != 1)\nend\n", 3, 10},
+		{"unterminated thread", "locs x\nthread p\n  x := 1\n", 4, 1},
+		{"trailing junk", "locs x\nthread p\n  x := 1 1\nend\n", 3, 10},
+		{"reserved fence loc", "locs __fence\nthread p\n  fence\nend\n", 1, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted malformed input")
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, not *parser.Error: %v", err, err)
+			}
+			if pe.Line != tc.line || pe.Col != tc.col {
+				t.Errorf("position = %d:%d, want %d:%d (%v)", pe.Line, pe.Col, tc.line, tc.col, err)
+			}
+			if pe.Msg == "" {
+				t.Errorf("empty message")
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Format pretty-prints a compiled program back to the concrete syntax this
+// package parses. The listing is canonical rather than source-faithful:
+// scalar locations are named x<loc>, arrays a<base>, threads t<index>,
+// registers r<index>, and goto targets get labels L<pc>. Reparsing the
+// result yields a program with the same labeled transition system — and
+// therefore the same prog.CanonicalDigest — as the input (the digest's
+// canonical register renumbering absorbs the index shuffle reparsing may
+// introduce). rockerd relies on this to echo back a normalized listing of
+// a cached program without storing the submitted source.
+//
+// Arrays are reconstructed from the instructions' memory operands: cells
+// of a declared array are contiguous locations referenced through a
+// MemRef with Size > 1. Locations never referenced that way (including
+// cells of size-1 arrays, which compile to plain scalar accesses) are
+// emitted as scalars; that changes the declaration style but not the LTS.
+func Format(p *lang.Program) string {
+	var b strings.Builder
+	if isIdent(p.Name) {
+		fmt.Fprintf(&b, "program %s\n", p.Name)
+	}
+	fmt.Fprintf(&b, "vals %d\n", p.ValCount)
+
+	// base loc -> array size, recovered from the program's memory operands.
+	arrays := map[lang.Loc]int{}
+	for ti := range p.Threads {
+		for ii := range p.Threads[ti].Insts {
+			if m := p.Threads[ti].Insts[ii].Mem; m.Size > 1 {
+				arrays[m.Base] = m.Size
+			}
+		}
+	}
+	for i := 0; i < len(p.Locs); {
+		loc := lang.Loc(i)
+		if size, ok := arrays[loc]; ok {
+			if p.Locs[i].NA {
+				fmt.Fprintf(&b, "na array a%d %d\n", i, size)
+			} else {
+				fmt.Fprintf(&b, "array a%d %d\n", i, size)
+			}
+			i += size
+			continue
+		}
+		if p.Locs[i].NA {
+			fmt.Fprintf(&b, "na x%d\n", i)
+		} else {
+			fmt.Fprintf(&b, "locs x%d\n", i)
+		}
+		i++
+	}
+
+	mem := func(m lang.MemRef) string {
+		if _, ok := arrays[m.Base]; ok && m.Size > 1 {
+			return fmt.Sprintf("a%d[%s]", m.Base, m.Index.String())
+		}
+		return fmt.Sprintf("x%d", m.Base)
+	}
+
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		fmt.Fprintf(&b, "\nthread t%d\n", ti)
+		targets := map[int]bool{}
+		for ii := range t.Insts {
+			if t.Insts[ii].Kind == lang.IGoto {
+				targets[t.Insts[ii].Target] = true
+			}
+		}
+		for ii := range t.Insts {
+			if targets[ii] {
+				fmt.Fprintf(&b, "L%d:\n", ii)
+			}
+			in := &t.Insts[ii]
+			b.WriteString("  ")
+			switch in.Kind {
+			case lang.IAssign:
+				fmt.Fprintf(&b, "r%d := %s", in.Reg, in.E.String())
+			case lang.IGoto:
+				if in.E.Kind == lang.EConst && in.E.Const == 1 {
+					fmt.Fprintf(&b, "goto L%d", in.Target)
+				} else {
+					fmt.Fprintf(&b, "if %s goto L%d", in.E.String(), in.Target)
+				}
+			case lang.IWrite:
+				fmt.Fprintf(&b, "%s := %s", mem(in.Mem), in.E.String())
+			case lang.IRead:
+				fmt.Fprintf(&b, "r%d := %s", in.Reg, mem(in.Mem))
+			case lang.IFADD:
+				fmt.Fprintf(&b, "r%d := FADD(%s, %s)", in.Reg, mem(in.Mem), in.E.String())
+			case lang.IXCHG:
+				fmt.Fprintf(&b, "r%d := XCHG(%s, %s)", in.Reg, mem(in.Mem), in.E.String())
+			case lang.ICAS:
+				fmt.Fprintf(&b, "r%d := CAS(%s, %s, %s)", in.Reg, mem(in.Mem), in.ER.String(), in.EW.String())
+			case lang.IWait:
+				fmt.Fprintf(&b, "wait(%s = %s)", mem(in.Mem), in.E.String())
+			case lang.IBCAS:
+				fmt.Fprintf(&b, "BCAS(%s, %s, %s)", mem(in.Mem), in.ER.String(), in.EW.String())
+			case lang.IAssert:
+				fmt.Fprintf(&b, "assert %s", in.E.String())
+			}
+			b.WriteByte('\n')
+		}
+		if targets[len(t.Insts)] {
+			fmt.Fprintf(&b, "L%d:\n", len(t.Insts))
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+// isIdent reports whether s lexes as a single identifier token, i.e. can
+// appear after "program" in a listing.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -73,24 +73,21 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based column of the token's first byte
 }
-
-// lexErr reports a lexical error with its line.
-type lexErr struct {
-	line int
-	msg  string
-}
-
-func (e *lexErr) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
 
 // lex splits src into tokens. Newlines are significant (statements are
-// line-oriented); comments run from '#' or '//' to end of line.
+// line-oriented); comments run from '#' or '//' to end of line. Lexical
+// errors are *Error values carrying the offending line:column.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // byte offset of the current line's first column
 	i := 0
 	n := len(src)
-	emit := func(k tokKind, text string) { toks = append(toks, token{k, text, line}) }
+	emit := func(k tokKind, text string) {
+		toks = append(toks, token{k, text, line, i - lineStart + 1})
+	}
 	for i < n {
 		c := src[i]
 		switch {
@@ -98,6 +95,7 @@ func lex(src string) ([]token, error) {
 			emit(tNewline, "\n")
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '#':
@@ -180,17 +178,17 @@ func lex(src string) ([]token, error) {
 				emit(tOp, "&&")
 				i += 2
 			} else {
-				return nil, &lexErr{line, "stray '&'"}
+				return nil, &Error{Line: line, Col: i - lineStart + 1, Msg: "stray '&'"}
 			}
 		case c == '|':
 			if i+1 < n && src[i+1] == '|' {
 				emit(tOp, "||")
 				i += 2
 			} else {
-				return nil, &lexErr{line, "stray '|'"}
+				return nil, &Error{Line: line, Col: i - lineStart + 1, Msg: "stray '|'"}
 			}
 		default:
-			return nil, &lexErr{line, fmt.Sprintf("unexpected character %q", c)}
+			return nil, &Error{Line: line, Col: i - lineStart + 1, Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
 	emit(tNewline, "\n")

@@ -38,12 +38,13 @@ type parser struct {
 	insts    []lang.Inst
 
 	usedFence bool
+	fenceDecl token // declaration token of a user loc named FenceLoc, if any
 }
 
 type pendingJump struct {
 	inst  int
 	label string
-	line  int
+	tok   token // the label token, for error positions
 }
 
 // Parse parses a program source. The returned program has been validated.
@@ -80,8 +81,8 @@ func MustParse(src string) *lang.Program {
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
-func (p *parser) errf(line int, format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipNewlines() {
@@ -93,7 +94,7 @@ func (p *parser) skipNewlines() {
 func (p *parser) expect(kind tokKind, what string) (token, error) {
 	t := p.next()
 	if t.kind != kind {
-		return t, p.errf(t.line, "expected %s, got %q", what, t.text)
+		return t, p.errf(t, "expected %s, got %q", what, t.text)
 	}
 	return t, nil
 }
@@ -101,7 +102,7 @@ func (p *parser) expect(kind tokKind, what string) (token, error) {
 func (p *parser) endOfLine() error {
 	t := p.next()
 	if t.kind != tNewline && t.kind != tEOF {
-		return p.errf(t.line, "unexpected %q at end of statement", t.text)
+		return p.errf(t, "unexpected %q at end of statement", t.text)
 	}
 	return nil
 }
@@ -114,7 +115,7 @@ func (p *parser) parseTop() error {
 			break
 		}
 		if t.kind != tIdent {
-			return p.errf(t.line, "expected declaration, got %q", t.text)
+			return p.errf(t, "expected declaration, got %q", t.text)
 		}
 		switch t.text {
 		case "program":
@@ -135,7 +136,7 @@ func (p *parser) parseTop() error {
 			}
 			n := atoi(num.text)
 			if n < 2 || n > 64 {
-				return p.errf(num.line, "vals must be in [2,64]")
+				return p.errf(num, "vals must be in [2,64]")
 			}
 			p.prog.ValCount = n
 			if err := p.endOfLine(); err != nil {
@@ -169,12 +170,12 @@ func (p *parser) parseTop() error {
 				return err
 			}
 		default:
-			return p.errf(t.line, "unknown declaration %q", t.text)
+			return p.errf(t, "unknown declaration %q", t.text)
 		}
 	}
 	if p.usedFence {
 		if _, dup := p.locIdx[FenceLoc]; dup {
-			return fmt.Errorf("location name %s is reserved for fences", FenceLoc)
+			return p.errf(p.fenceDecl, "location name %s is reserved for fences", FenceLoc)
 		}
 		p.locIdx[FenceLoc] = lang.Loc(len(p.prog.Locs))
 		p.prog.Locs = append(p.prog.Locs, lang.LocInfo{Name: FenceLoc})
@@ -202,23 +203,27 @@ func (p *parser) parseLocList(na bool) error {
 	count := 0
 	for p.cur().kind == tIdent {
 		t := p.next()
-		if err := p.declareLoc(t.text, t.line, na); err != nil {
+		if err := p.declareLoc(t, na); err != nil {
 			return err
 		}
 		count++
 	}
 	if count == 0 {
-		return p.errf(p.cur().line, "expected location names")
+		return p.errf(p.cur(), "expected location names")
 	}
 	return p.endOfLine()
 }
 
-func (p *parser) declareLoc(name string, line int, na bool) error {
+func (p *parser) declareLoc(t token, na bool) error {
+	name := t.text
 	if _, dup := p.locIdx[name]; dup {
-		return p.errf(line, "duplicate location %q", name)
+		return p.errf(t, "duplicate location %q", name)
 	}
 	if _, dup := p.arrays[name]; dup {
-		return p.errf(line, "location %q conflicts with array", name)
+		return p.errf(t, "location %q conflicts with array", name)
+	}
+	if name == FenceLoc {
+		p.fenceDecl = t
 	}
 	p.locIdx[name] = lang.Loc(len(p.prog.Locs))
 	p.prog.Locs = append(p.prog.Locs, lang.LocInfo{Name: name, NA: na})
@@ -236,13 +241,13 @@ func (p *parser) parseArray(na bool) error {
 	}
 	size := atoi(num.text)
 	if size < 1 || size > 32 {
-		return p.errf(num.line, "array size must be in [1,32]")
+		return p.errf(num, "array size must be in [1,32]")
 	}
 	if _, dup := p.arrays[name.text]; dup {
-		return p.errf(name.line, "duplicate array %q", name.text)
+		return p.errf(name, "duplicate array %q", name.text)
 	}
 	if _, dup := p.locIdx[name.text]; dup {
-		return p.errf(name.line, "array %q conflicts with location", name.text)
+		return p.errf(name, "array %q conflicts with location", name.text)
 	}
 	base := lang.Loc(len(p.prog.Locs))
 	for i := 0; i < size; i++ {
@@ -269,7 +274,7 @@ func (p *parser) parseThread() error {
 		p.skipNewlines()
 		t := p.cur()
 		if t.kind == tEOF {
-			return p.errf(t.line, "unterminated thread %q (missing 'end')", name.text)
+			return p.errf(t, "unterminated thread %q (missing 'end')", name.text)
 		}
 		if t.kind == tIdent && t.text == "end" {
 			p.pos++
@@ -286,7 +291,7 @@ func (p *parser) parseThread() error {
 	for _, pj := range p.pending {
 		target, ok := p.labels[pj.label]
 		if !ok {
-			return p.errf(pj.line, "undefined label %q", pj.label)
+			return p.errf(pj.tok, "undefined label %q", pj.label)
 		}
 		p.insts[pj.inst].Target = target
 	}
@@ -338,7 +343,7 @@ func (p *parser) parseMemRef(id token) (lang.MemRef, error) {
 	if x, ok := p.locIdx[id.text]; ok {
 		return lang.MemRef{Base: x, Size: 1}, nil
 	}
-	return lang.MemRef{}, p.errf(id.line, "unknown location %q", id.text)
+	return lang.MemRef{}, p.errf(id, "unknown location %q", id.text)
 }
 
 func (p *parser) emit(in lang.Inst, line int) {
@@ -349,13 +354,13 @@ func (p *parser) emit(in lang.Inst, line int) {
 func (p *parser) parseStmt() error {
 	t := p.next()
 	if t.kind != tIdent {
-		return p.errf(t.line, "expected statement, got %q", t.text)
+		return p.errf(t, "expected statement, got %q", t.text)
 	}
 	// Label?
 	if p.cur().kind == tColon {
 		p.pos++
 		if _, dup := p.labels[t.text]; dup {
-			return p.errf(t.line, "duplicate label %q", t.text)
+			return p.errf(t, "duplicate label %q", t.text)
 		}
 		p.labels[t.text] = len(p.insts)
 		// A label may be followed by a statement on the same line, or
@@ -374,13 +379,13 @@ func (p *parser) parseStmt() error {
 		}
 		kw, err := p.expect(tIdent, "'goto'")
 		if err != nil || kw.text != "goto" {
-			return p.errf(kw.line, "expected 'goto' after if condition")
+			return p.errf(kw, "expected 'goto' after if condition")
 		}
 		lbl, err := p.expect(tIdent, "label")
 		if err != nil {
 			return err
 		}
-		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl.line})
+		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl})
 		p.emit(lang.Inst{Kind: lang.IGoto, E: cond}, t.line)
 		return p.endOfLine()
 	case "goto":
@@ -388,7 +393,7 @@ func (p *parser) parseStmt() error {
 		if err != nil {
 			return err
 		}
-		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl.line})
+		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl})
 		p.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, t.line)
 		return p.endOfLine()
 	case "wait":
@@ -405,7 +410,7 @@ func (p *parser) parseStmt() error {
 		}
 		eq := p.next()
 		if eq.kind != tOp || eq.text != "=" {
-			return p.errf(eq.line, "expected '=' in wait")
+			return p.errf(eq, "expected '=' in wait")
 		}
 		e, err := p.parseExpr()
 		if err != nil {
@@ -683,7 +688,7 @@ func (p *parser) parsePrimary() (*lang.Expr, error) {
 		return lang.Const(lang.Val(atoi(t.text))), nil
 	case tIdent:
 		if p.isMemName(t.text) {
-			return nil, p.errf(t.line, "location %q used in expression; load it into a register first", t.text)
+			return nil, p.errf(t, "location %q used in expression; load it into a register first", t.text)
 		}
 		return lang.RegE(p.reg(t.text)), nil
 	case tLParen:
@@ -696,7 +701,7 @@ func (p *parser) parsePrimary() (*lang.Expr, error) {
 		}
 		return e, nil
 	}
-	return nil, p.errf(t.line, "expected expression, got %q", t.text)
+	return nil, p.errf(t, "expected expression, got %q", t.text)
 }
 
 func atoi(s string) int {

@@ -1,0 +1,181 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Digest is a stable 128-bit fingerprint of a compiled program's LTS.
+type Digest [16]byte
+
+// String renders the digest as 32 hex digits.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
+
+// CanonicalDigest returns a deterministic 128-bit digest of the program's
+// labeled transition system. Two sources that compile to the same LTS get
+// the same digest; in particular the digest is invariant under
+//
+//   - whitespace, comments, and statement layout (the parser discards them),
+//   - renaming of goto labels (compiled to instruction indices),
+//   - renaming of programs, threads, locations, and registers (names are
+//     not serialized; registers are renumbered canonically in order of
+//     first textual appearance, so any consistent renaming is absorbed),
+//
+// while any change to the transition system itself — an instruction, an
+// operand expression, a jump target, the value domain, a location's
+// non-atomic flag, the location or thread layout — changes it (up to hash
+// collisions, < n²·2⁻¹²⁸ over n programs).
+//
+// This is the verdict-cache key of the rockerd service: a robustness
+// verdict depends only on the LTS, so digest-equal programs share verdicts.
+// The byte serialization and the hash are pinned by TestDigestPinned —
+// digests may be persisted, so refactors must not silently change them.
+func CanonicalDigest(p *lang.Program) Digest {
+	var h digestHasher
+	h.byte('P')
+	h.byte(1) // serialization version
+	h.byte(byte(p.ValCount))
+	h.u16(len(p.Locs))
+	for i := range p.Locs {
+		if p.Locs[i].NA {
+			h.byte(1)
+		} else {
+			h.byte(0)
+		}
+	}
+	h.byte(byte(len(p.Threads)))
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		h.byte('T')
+		h.u16(len(t.Insts))
+		// Canonical register numbering: registers are renumbered in order
+		// of first appearance, visiting each instruction's fields in the
+		// parser's textual order, so the numbering matches what reparsing
+		// a pretty-printed listing would allocate.
+		canon := map[lang.Reg]byte{}
+		reg := func(r lang.Reg) {
+			c, ok := canon[r]
+			if !ok {
+				c = byte(len(canon))
+				canon[r] = c
+			}
+			h.byte('r')
+			h.byte(c)
+		}
+		var expr func(e *lang.Expr)
+		expr = func(e *lang.Expr) {
+			if e == nil {
+				h.byte('z')
+				return
+			}
+			switch e.Kind {
+			case lang.EConst:
+				h.byte('c')
+				h.byte(byte(e.Const))
+			case lang.EReg:
+				reg(e.Reg)
+			case lang.EBin:
+				h.byte('b')
+				h.byte(byte(e.Op))
+				expr(e.L)
+				expr(e.R)
+			case lang.ENot:
+				h.byte('n')
+				expr(e.L)
+			}
+		}
+		mem := func(m lang.MemRef) {
+			h.byte('M')
+			h.byte(byte(m.Base))
+			h.u16(m.Size)
+			if m.Size > 1 {
+				expr(m.Index)
+			}
+		}
+		for ii := range t.Insts {
+			in := &t.Insts[ii]
+			h.byte(byte(in.Kind))
+			switch in.Kind {
+			case lang.IAssign:
+				reg(in.Reg)
+				expr(in.E)
+			case lang.IGoto:
+				expr(in.E)
+				h.u16(in.Target)
+			case lang.IWrite:
+				mem(in.Mem)
+				expr(in.E)
+			case lang.IRead:
+				reg(in.Reg)
+				mem(in.Mem)
+			case lang.IFADD, lang.IXCHG:
+				reg(in.Reg)
+				mem(in.Mem)
+				expr(in.E)
+			case lang.ICAS:
+				reg(in.Reg)
+				mem(in.Mem)
+				expr(in.ER)
+				expr(in.EW)
+			case lang.IWait:
+				mem(in.Mem)
+				expr(in.E)
+			case lang.IBCAS:
+				mem(in.Mem)
+				expr(in.ER)
+				expr(in.EW)
+			case lang.IAssert:
+				expr(in.E)
+			}
+		}
+	}
+	return h.sum()
+}
+
+// digestHasher is a self-contained two-lane 64-bit FNV-1a variant with a
+// splitmix64 finalizer. It is deliberately independent of
+// explore.Hash128: digests may outlive a process (verdict caches), so the
+// state-hash function must be free to evolve without invalidating them.
+type digestHasher struct {
+	h1, h2 uint64
+	init   bool
+}
+
+const (
+	digestOff1   = 14695981039346656037
+	digestOff2   = 0x9e3779b97f4a7c15
+	digestPrime1 = 1099511628211
+	digestPrime2 = 0x100000001b3 ^ 0x9e37 // second lane: distinct multiplier
+)
+
+func (d *digestHasher) byte(b byte) {
+	if !d.init {
+		d.h1, d.h2, d.init = digestOff1, digestOff2, true
+	}
+	d.h1 = (d.h1 ^ uint64(b)) * digestPrime1
+	d.h2 = (d.h2 ^ uint64(b)) * digestPrime2
+}
+
+func (d *digestHasher) u16(v int) {
+	d.byte(byte(v))
+	d.byte(byte(v >> 8))
+}
+
+func (d *digestHasher) sum() Digest {
+	f := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	var out Digest
+	a, b := f(d.h1), f(d.h2^d.h1)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(a >> (8 * i))
+		out[8+i] = byte(b >> (8 * i))
+	}
+	return out
+}

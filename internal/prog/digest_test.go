@@ -1,0 +1,201 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+const digestBase = `
+program base
+vals 4
+locs x y
+na d
+array buf 2
+
+thread p0
+  x := 1
+L:
+  r0 := y
+  if r0 = 0 goto L
+  buf[r0 % 2] := 1
+  d := 1
+end
+
+thread p1
+  y := 1
+  r1 := CAS(x, 1, 2)
+  assert r1 <= 2
+end
+`
+
+// TestDigestPinned pins the digest of a fixed program. Digests key
+// persisted verdict caches; if this test fails, the serialization or the
+// hash changed and every cached verdict silently becomes unreachable —
+// bump the version byte deliberately instead.
+func TestDigestPinned(t *testing.T) {
+	p, err := parser.Parse(digestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "c2b508b4ff831ad3a701d17efdb87ad7"
+	if got := CanonicalDigest(p).String(); got != want {
+		t.Errorf("pinned digest changed: got %s want %s", got, want)
+	}
+}
+
+// TestDigestInvariance checks that representation-only edits — comments,
+// whitespace, label names, register names, location names, thread and
+// program names — leave the digest unchanged.
+func TestDigestInvariance(t *testing.T) {
+	base, err := parser.Parse(digestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CanonicalDigest(base)
+	variants := map[string]func(string) string{
+		"comments": func(s string) string {
+			return strings.ReplaceAll(s, "x := 1", "x := 1 # store flag")
+		},
+		"whitespace": func(s string) string {
+			return strings.ReplaceAll(s, "  ", "\t   ")
+		},
+		"label rename": func(s string) string {
+			s = strings.ReplaceAll(s, "L:", "spin:")
+			return strings.ReplaceAll(s, "goto L", "goto spin")
+		},
+		"register rename": func(s string) string {
+			return strings.ReplaceAll(s, "r0", "tmp")
+		},
+		"location rename": func(s string) string {
+			return strings.ReplaceAll(s, "x", "flagx")
+		},
+		"thread+program rename": func(s string) string {
+			s = strings.ReplaceAll(s, "program base", "program other")
+			return strings.ReplaceAll(s, "thread p0", "thread writer")
+		},
+	}
+	for name, edit := range variants {
+		q, err := parser.Parse(edit(digestBase))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := CanonicalDigest(q); got != want {
+			t.Errorf("%s: digest changed: got %s want %s", name, got, want)
+		}
+	}
+}
+
+// TestDigestSensitivity checks that semantic edits — a changed constant,
+// operator, jump target, value domain, non-atomic flag, instruction kind,
+// or thread order — each produce a distinct digest.
+func TestDigestSensitivity(t *testing.T) {
+	seen := map[Digest]string{}
+	add := func(t *testing.T, name, src string) {
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := CanonicalDigest(p)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+	add(t, "base", digestBase)
+	edits := map[string][2]string{
+		"constant":   {"y := 1", "y := 2"},
+		"operator":   {"r0 = 0", "r0 != 0"},
+		"vals":       {"vals 4", "vals 5"},
+		"na flag":    {"na d", "locs d"},
+		"inst kind":  {"y := 1", "r9 := XCHG(y, 1)"},
+		"cas expect": {"CAS(x, 1, 2)", "CAS(x, 0, 2)"},
+		"array size": {"array buf 2", "array buf 3"},
+		"jump":       {"goto L", "goto done\ndone:"},
+		"extra inst": {"d := 1", "d := 1\n  skip"},
+	}
+	for name, e := range edits {
+		add(t, name, strings.Replace(digestBase, e[0], e[1], 1))
+	}
+	// Swapping thread bodies changes which tid performs which steps.
+	swapped := strings.ReplaceAll(digestBase, "thread p0", "thread pT")
+	swapped = strings.ReplaceAll(swapped, "thread p1", "thread p0")
+	swapped = strings.ReplaceAll(swapped, "thread pT", "thread p1")
+	i0 := strings.Index(swapped, "thread p1")
+	i1 := strings.Index(swapped, "thread p0")
+	add(t, "thread order", swapped[:i0]+swapped[i1:]+"\n"+swapped[i0:i1])
+}
+
+// TestDigestFormatRoundTrip is the property the verdict cache rests on:
+// for every corpus program, reparsing the canonical pretty-printed listing
+// yields the same digest as the original source.
+func TestDigestFormatRoundTrip(t *testing.T) {
+	for _, e := range litmus.All() {
+		p, err := parser.Parse(e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		formatted := parser.Format(p)
+		q, err := parser.Parse(formatted)
+		if err != nil {
+			t.Fatalf("%s: reparse of formatted listing: %v\n%s", e.Name, err, formatted)
+		}
+		if dp, dq := CanonicalDigest(p), CanonicalDigest(q); dp != dq {
+			t.Errorf("%s: round-trip digest mismatch: %s vs %s\n%s", e.Name, dp, dq, formatted)
+		}
+	}
+}
+
+// TestDigestRegisterRenumbering checks the canonical register numbering
+// directly: permuting register indices (not just names) leaves the digest
+// unchanged.
+func TestDigestRegisterRenumbering(t *testing.T) {
+	src := `
+vals 3
+locs x y
+thread p
+  r0 := 1
+  r1 := x
+  y := r1 + r0
+end
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap registers 0 and 1 throughout thread 0 of q.
+	swap := func(r lang.Reg) lang.Reg { return 1 - r }
+	var fix func(e *lang.Expr)
+	fix = func(e *lang.Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == lang.EReg {
+			e.Reg = swap(e.Reg)
+		}
+		fix(e.L)
+		fix(e.R)
+	}
+	th := &q.Threads[0]
+	th.RegNames[0], th.RegNames[1] = th.RegNames[1], th.RegNames[0]
+	for i := range th.Insts {
+		in := &th.Insts[i]
+		if in.Kind == lang.IAssign || in.Kind == lang.IRead {
+			in.Reg = swap(in.Reg)
+		}
+		fix(in.E)
+		fix(in.ER)
+		fix(in.EW)
+		fix(in.Mem.Index)
+	}
+	if dp, dq := CanonicalDigest(p), CanonicalDigest(q); dp != dq {
+		t.Errorf("register permutation changed digest: %s vs %s", dp, dq)
+	}
+}

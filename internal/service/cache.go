@@ -1,0 +1,77 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// verdictCache is a mutex-guarded LRU keyed by the canonical cache key
+// (program digest + verification mode + bounds, see (*Server).cacheKey).
+// Only completed verdicts enter the cache — canceled and failed runs are
+// never memoized — so a hit can be served without re-verification: two
+// sources that are equal modulo label names, register names, whitespace
+// and comments compile to digest-equal LTSs and share one entry.
+type verdictCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &verdictCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, or nil.
+func (c *verdictCache) get(key string) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *verdictCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (entries, hits, misses).
+func (c *verdictCache) stats() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits, c.misses
+}

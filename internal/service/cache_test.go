@@ -1,0 +1,40 @@
+package service
+
+import "testing"
+
+// TestVerdictCacheLRU checks insertion, promotion-on-get, and
+// least-recently-used eviction.
+func TestVerdictCacheLRU(t *testing.T) {
+	c := newVerdictCache(2)
+	a, b, d := &Result{Mode: "a"}, &Result{Mode: "b"}, &Result{Mode: "d"}
+	c.put("a", a)
+	c.put("b", b)
+	if got := c.get("a"); got != a { // promotes a over b
+		t.Fatalf("get(a) = %v", got)
+	}
+	c.put("d", d) // evicts b, the least recently used
+	if got := c.get("b"); got != nil {
+		t.Fatalf("b survived eviction: %v", got)
+	}
+	if c.get("a") != a || c.get("d") != d {
+		t.Fatal("a or d evicted early")
+	}
+	entries, hits, misses := c.stats()
+	if entries != 2 || hits != 3 || misses != 1 {
+		t.Errorf("stats = (%d, %d, %d), want (2, 3, 1)", entries, hits, misses)
+	}
+}
+
+// TestVerdictCacheRefresh checks that re-putting an existing key updates
+// in place without growing the cache.
+func TestVerdictCacheRefresh(t *testing.T) {
+	c := newVerdictCache(2)
+	c.put("k", &Result{States: 1})
+	c.put("k", &Result{States: 2})
+	if got := c.get("k"); got == nil || got.States != 2 {
+		t.Fatalf("get(k) = %+v, want refreshed entry", got)
+	}
+	if entries, _, _ := c.stats(); entries != 1 {
+		t.Errorf("entries = %d, want 1", entries)
+	}
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/parser"
+)
+
+// VerifyRequest is the JSON body of POST /v1/verify. A text/plain body is
+// also accepted and treated as {"source": <body>} with every knob at its
+// default.
+type VerifyRequest struct {
+	// Source is the .lit program text.
+	Source string `json:"source"`
+	// Mode selects the verification question (default "ra").
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMs caps the job's wall-clock run, clamped to the server's
+	// MaxTimeout (0 = the server's DefaultTimeout).
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// MaxStates tightens the server's exploration bound (0 = server
+	// default; values above it are clamped).
+	MaxStates int `json:"maxStates,omitempty"`
+	// Wait blocks the request until the job finishes and returns the
+	// final snapshot inline (one-shot CLI use; polling is the default).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// errorJSON is every non-2xx body. Line/Col are set for parse errors.
+type errorJSON struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleVerify parses, canonicalizes, and admits a verification request.
+// Responses:
+//
+//	200 — verdict served from the cache (or Wait and the job finished)
+//	202 — job admitted; poll Location
+//	400 — malformed request or program (parse errors carry line/col)
+//	429 — worker pool and queue saturated; Retry-After hints a backoff
+//	503 — server draining
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxSourceBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxSourceBytes)
+		return
+	}
+	var req VerifyRequest
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+	} else {
+		req.Source = string(body)
+	}
+	// Query parameters cover the text/plain path (curl --data-binary
+	// @prog.lit 'host/v1/verify?wait=1&mode=sc'); the JSON body wins when
+	// both are present.
+	q := r.URL.Query()
+	if req.Mode == "" {
+		req.Mode = q.Get("mode")
+	}
+	if !req.Wait {
+		req.Wait = q.Get("wait") == "1" || q.Get("wait") == "true"
+	}
+	if req.Mode == "" {
+		req.Mode = ModeRA
+	}
+	if !validMode(req.Mode) {
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "empty program source")
+		return
+	}
+
+	p, err := parser.Parse(req.Source)
+	if err == nil {
+		err = p.Validate()
+	}
+	if err != nil {
+		resp := errorJSON{Error: err.Error()}
+		var pe *parser.Error
+		if errors.As(err, &pe) {
+			resp.Line, resp.Col = pe.Line, pe.Col
+		}
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+
+	maxStates := s.cfg.MaxStates
+	if req.MaxStates > 0 && req.MaxStates < maxStates {
+		maxStates = req.MaxStates
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout)
+	switch outcome {
+	case submitCached:
+		writeJSON(w, http.StatusOK, struct {
+			Cached bool    `json:"cached"`
+			Result *Result `json:"result"`
+		}{true, cached})
+	case submitSaturated:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"all %d workers busy and queue full (%d deep); retry later",
+			s.cfg.MaxJobs, s.cfg.MaxQueue)
+	case submitDraining:
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case submitQueued:
+		if req.Wait {
+			select {
+			case <-j.done:
+			case <-r.Context().Done():
+				// Client went away: the job keeps running (its verdict
+				// still feeds the cache), the response is abandoned.
+				return
+			}
+			writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobStream emits one Snapshot JSON object per line (NDJSON) every
+// StreamInterval until the job reaches a terminal status; the final line
+// carries the result or error. Clients get live states/sec without
+// polling.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	emit := func() bool {
+		if err := enc.Encode(j.snapshot()); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	tick := time.NewTicker(s.cfg.StreamInterval)
+	defer tick.Stop()
+	if !emit() {
+		return
+	}
+	for {
+		select {
+		case <-j.done:
+			emit()
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// handleJobDelete cancels a queued or running job. The job transitions to
+// status canceled (never a verdict); a job already terminal is left as-is.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel(errDeleted)
+	// A queued job has no worker polling its context yet: resolve it here
+	// so DELETE is prompt regardless of queue position. finish is
+	// idempotent, so racing the worker is harmless.
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StatusCanceled, nil, fmt.Sprintf("canceled: %v", errDeleted))
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.counts()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+		Queued   int  `json:"queued"`
+		Running  int  `json:"running"`
+	}{!draining, draining, queued, running})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.counts()
+	entries, hits, misses := s.cache.stats()
+	s.mu.Lock()
+	submitted := s.nextID
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		UptimeSec    float64 `json:"uptimeSec"`
+		Submitted    int64   `json:"submitted"`
+		Queued       int     `json:"queued"`
+		Running      int     `json:"running"`
+		CacheEntries int     `json:"cacheEntries"`
+		CacheHits    int64   `json:"cacheHits"`
+		CacheMisses  int64   `json:"cacheMisses"`
+		HeapBytes    uint64  `json:"heapBytes"`
+	}{
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Submitted:    submitted,
+		Queued:       queued,
+		Running:      running,
+		CacheEntries: entries,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		HeapBytes:    sampleHeap(),
+	})
+}

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/staterobust"
+)
+
+// Mode names the verification question a job answers. The first three run
+// the §5 SCM-instrumented decision procedure (execution-graph robustness);
+// the state-* modes run the Definition 2.6 state-robustness checkers that
+// cross-validate it.
+const (
+	ModeRA       = "ra"        // execution-graph robustness against RA (the paper's main question)
+	ModeSRA      = "sra"       // …against the POPL'16 SRA strengthening
+	ModeSC       = "sc"        // plain SC exploration: assertion checking only
+	ModeStateRA  = "state-ra"  // state robustness via the §3 timestamp machine
+	ModeStateSRA = "state-sra" // …with SRA write slots
+	ModeStateTSO = "state-tso" // state robustness via the TSO store-buffer machine
+)
+
+// validMode reports whether m names a verification mode.
+func validMode(m string) bool {
+	switch m {
+	case ModeRA, ModeSRA, ModeSC, ModeStateRA, ModeStateSRA, ModeStateTSO:
+		return true
+	}
+	return false
+}
+
+// Job statuses. A job moves queued → running → one of the terminal
+// statuses; canceled covers client cancellation, deadline expiry, and
+// shutdown — a canceled job never carries a verdict.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusCanceled = "canceled"
+	StatusFailed   = "failed"
+)
+
+// Result is the JSON-serializable outcome of a completed verification.
+type Result struct {
+	Mode   string `json:"mode"`
+	Robust bool   `json:"robust"`
+	// States counts distinct explored states: ⟨program, SCM⟩ states for
+	// the execution-graph modes, compound weak-machine states for the
+	// state-* modes, plain SC states for mode sc.
+	States int `json:"states"`
+	// SCStates/WeakStates are the program-state counts of the state-*
+	// modes (0 otherwise).
+	SCStates   int `json:"scStates,omitempty"`
+	WeakStates int `json:"weakStates,omitempty"`
+	// MetadataBits is the §5.1 instrumentation size (execution-graph
+	// modes).
+	MetadataBits int     `json:"metadataBits,omitempty"`
+	Violations   int     `json:"violations,omitempty"`
+	AssertFail   string  `json:"assertFail,omitempty"`
+	TraceLen     int     `json:"traceLen,omitempty"`
+	ElapsedMs    float64 `json:"elapsedMs"`
+}
+
+// job is one queued or running verification. Progress fields are atomics:
+// the verifier's progress hook stores into them from worker goroutines
+// while snapshot readers load them without locks.
+type job struct {
+	id     string
+	mode   string
+	digest prog.Digest
+	key    string // verdict-cache key
+	prg    *lang.Program
+
+	maxStates int
+	workers   int
+	timeout   time.Duration
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	created time.Time
+
+	// mu guards status, result, err, started, finished.
+	mu       sync.Mutex
+	status   string
+	result   *Result
+	err      string
+	started  time.Time
+	finished time.Time
+
+	states   atomic.Int64
+	expanded atomic.Int64
+
+	done chan struct{} // closed on reaching a terminal status
+}
+
+// errDeleted marks client-requested cancellation (DELETE /v1/jobs/{id}).
+var errDeleted = errors.New("canceled by client")
+
+// errDrained marks jobs cut off by a forced shutdown.
+var errDrained = errors.New("server shutting down")
+
+// Snapshot is the polling view of a job (GET /v1/jobs/{id} and each line
+// of the NDJSON stream).
+type Snapshot struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Mode   string `json:"mode"`
+	Digest string `json:"digest"`
+	// States/Expanded are live exploration counters; Frontier is their
+	// difference — states interned but not yet expanded, the BFS frontier.
+	States   int64 `json:"states"`
+	Expanded int64 `json:"expanded"`
+	Frontier int64 `json:"frontier"`
+	// StatesPerSec is the mean exploration rate since the job started.
+	StatesPerSec float64 `json:"statesPerSec"`
+	ElapsedMs    float64 `json:"elapsedMs"`
+	// HeapBytes is the process-wide live heap (rate-limited sample shared
+	// by all jobs).
+	HeapBytes uint64  `json:"heapBytes"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	status, result, errMsg := j.status, j.result, j.err
+	started, finished := j.started, j.finished
+	j.mu.Unlock()
+
+	s := Snapshot{
+		ID:        j.id,
+		Status:    status,
+		Mode:      j.mode,
+		Digest:    j.digest.String(),
+		States:    j.states.Load(),
+		Expanded:  j.expanded.Load(),
+		HeapBytes: sampleHeap(),
+		Result:    result,
+		Error:     errMsg,
+	}
+	if s.Frontier = s.States - s.Expanded; s.Frontier < 0 {
+		s.Frontier = 0
+	}
+	if !started.IsZero() {
+		end := finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		el := end.Sub(started)
+		s.ElapsedMs = float64(el) / float64(time.Millisecond)
+		if el > 0 {
+			s.StatesPerSec = float64(s.States) / el.Seconds()
+		}
+	}
+	return s
+}
+
+// finish moves the job to a terminal status. Exactly one call wins; later
+// calls (e.g. a cancellation racing completion) are ignored.
+func (j *job) finish(status string, res *Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone, StatusCanceled, StatusFailed:
+		return
+	}
+	j.status = status
+	j.result = res
+	j.err = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// run executes the job's verification and resolves its terminal status.
+// Called on a worker goroutine with admission already granted.
+func (j *job) run() {
+	j.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := j.ctx
+	cancel := func() {}
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeoutCause(ctx, j.timeout, context.DeadlineExceeded)
+	}
+	defer cancel()
+
+	res, err := j.verify(ctx)
+	switch {
+	case err == nil:
+		j.finish(StatusDone, res, "")
+	case errors.Is(err, core.ErrCanceled) || errors.Is(err, staterobust.ErrCanceled):
+		j.finish(StatusCanceled, nil, fmt.Sprintf("canceled: %v", context.Cause(ctx)))
+	default:
+		j.finish(StatusFailed, nil, err.Error())
+	}
+}
+
+// verify dispatches to the engine selected by the job's mode.
+func (j *job) verify(ctx context.Context) (*Result, error) {
+	start := time.Now()
+	switch j.mode {
+	case ModeRA, ModeSRA, ModeSC:
+		opts := core.Options{
+			Model:        core.ModelRA,
+			AbstractVals: true,
+			MaxStates:    j.maxStates,
+			Workers:      j.workers,
+			Ctx:          ctx,
+			Progress: func(p core.Progress) {
+				j.states.Store(int64(p.States))
+				j.expanded.Store(p.Expanded)
+			},
+		}
+		if j.mode == ModeSRA {
+			opts.Model = core.ModelSRA
+		}
+		if j.mode == ModeSC {
+			sv, err := core.VerifySC(j.prg, opts)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{
+				Mode:      j.mode,
+				Robust:    sv.AssertFail == nil,
+				States:    sv.States,
+				ElapsedMs: msSince(start),
+			}
+			if sv.AssertFail != nil {
+				res.AssertFail = sv.AssertFail.Error()
+			}
+			j.states.Store(int64(sv.States))
+			return res, nil
+		}
+		v, err := core.Verify(j.prg, opts)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Mode:         j.mode,
+			Robust:       v.Robust,
+			States:       v.States,
+			MetadataBits: v.MetadataBits,
+			Violations:   len(v.Violations),
+			TraceLen:     len(v.Trace),
+			ElapsedMs:    msSince(start),
+		}
+		if v.AssertFail != nil {
+			res.AssertFail = v.AssertFail.Error()
+		}
+		j.states.Store(int64(v.States))
+		return res, nil
+	case ModeStateRA, ModeStateSRA, ModeStateTSO:
+		lim := staterobust.Limits{
+			MaxStates: j.maxStates,
+			Workers:   j.workers,
+			Ctx:       ctx,
+			Progress: func(explored int) {
+				j.states.Store(int64(explored))
+				j.expanded.Add(progressPeriod)
+			},
+		}
+		var (
+			r   *staterobust.Result
+			err error
+		)
+		switch j.mode {
+		case ModeStateRA:
+			r, err = staterobust.CheckRA(j.prg, lim)
+		case ModeStateSRA:
+			r, err = staterobust.CheckSRA(j.prg, lim)
+		default:
+			r, err = staterobust.CheckTSO(j.prg, lim)
+		}
+		if err != nil {
+			return nil, err
+		}
+		j.states.Store(int64(r.Explored))
+		return &Result{
+			Mode:       j.mode,
+			Robust:     r.Robust,
+			States:     r.Explored,
+			SCStates:   r.SCStates,
+			WeakStates: r.WeakStates,
+			TraceLen:   len(r.WitnessTrace),
+			ElapsedMs:  msSince(start),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown mode %q", j.mode)
+}
+
+// progressPeriod mirrors the staterobust checkers' fixed progress cadence,
+// so the expanded counter advances even though those hooks only carry the
+// explored-state count.
+const progressPeriod = 4096
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// heap sampling: ReadMemStats briefly stops the world, so snapshots share
+// one sample refreshed at most every 200ms.
+var (
+	heapSampleNS atomic.Int64
+	heapBytes    atomic.Uint64
+	heapMu       sync.Mutex
+)
+
+func sampleHeap() uint64 {
+	const maxAge = 200 * time.Millisecond
+	now := time.Now().UnixNano()
+	if now-heapSampleNS.Load() > int64(maxAge) {
+		heapMu.Lock()
+		if now-heapSampleNS.Load() > int64(maxAge) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			heapBytes.Store(ms.HeapInuse)
+			heapSampleNS.Store(now)
+		}
+		heapMu.Unlock()
+	}
+	return heapBytes.Load()
+}

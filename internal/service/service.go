@@ -1,0 +1,286 @@
+// Package service implements rockerd, a long-running robustness-
+// verification service over the repository's engines: the §5 SCM-based
+// execution-graph robustness decision procedure (core.Verify/VerifySC)
+// and the Definition 2.6 state-robustness checkers (staterobust). Clients
+// POST .lit programs; the server parses them, dispatches verification
+// jobs to a bounded worker pool with per-job deadlines and cooperative
+// cancellation, memoizes verdicts in an LRU keyed by the program's
+// canonical LTS digest (prog.CanonicalDigest — hits are independent of
+// label names, register names, whitespace and comments), and exposes live
+// exploration progress by polling and NDJSON streaming. See docs/rockerd.md
+// for the HTTP API.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// default chosen for an interactive laptop deployment.
+type Config struct {
+	// MaxJobs is the number of jobs verified concurrently (worker pool
+	// size; default 2). Each job may itself explore with multiple
+	// engine workers, see Workers.
+	MaxJobs int
+	// MaxQueue bounds jobs admitted beyond the running ones (default 8).
+	// A full queue rejects submissions with 429 and a Retry-After hint —
+	// backpressure instead of unbounded memory growth.
+	MaxQueue int
+	// CacheSize is the verdict LRU capacity in entries (default 256).
+	CacheSize int
+	// DefaultTimeout applies to jobs that do not request a deadline
+	// (default 2m); MaxTimeout caps requested deadlines (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxStates bounds each job's exploration unless the request sets a
+	// tighter bound (default 8M states).
+	MaxStates int
+	// Workers is the per-job engine worker count (0 = all cores). With
+	// MaxJobs > 1, 1-2 engine workers per job usually beats oversubscribing.
+	Workers int
+	// MaxSourceBytes bounds the request body (default 1 MiB).
+	MaxSourceBytes int64
+	// MaxFinished bounds retained terminal jobs (default 128); the oldest
+	// are forgotten first. Running and queued jobs are never evicted.
+	MaxFinished int
+	// StreamInterval is the NDJSON progress cadence (default 250ms).
+	StreamInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 8 << 20
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxFinished <= 0 {
+		c.MaxFinished = 128
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the rockerd service: an http.Handler plus the job machinery
+// behind it. Create with New, serve via any http.Server, stop with Drain.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *verdictCache
+	start time.Time
+
+	// mu guards jobs, finished, draining, nextID, and pairs the queue's
+	// send-side with the draining flag so a submission never races the
+	// close in Drain.
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // terminal job ids, oldest first, for eviction
+	draining bool
+	nextID   int64
+	queue    chan *job
+
+	workers sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newVerdictCache(cfg.CacheSize),
+		jobs:  make(map[string]*job),
+		start: time.Now(),
+	}
+	s.queue = make(chan *job, s.cfg.MaxQueue)
+	s.mux = http.NewServeMux()
+	s.routes()
+	for i := 0; i < s.cfg.MaxJobs; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				j.run()
+			}
+		}()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ErrDrainTimeout reports that Drain's context expired before in-flight
+// jobs finished; they were force-canceled.
+var ErrDrainTimeout = errors.New("service: drain deadline exceeded; in-flight jobs canceled")
+
+// Drain stops the service gracefully: new submissions are rejected with
+// 503 immediately, queued and running jobs keep going, and Drain returns
+// once the pool is idle. If ctx expires first, every remaining job is
+// canceled (terminal status canceled, not a verdict) and ErrDrainTimeout
+// is returned after the pool exits. Drain is idempotent; cmd/rockerd
+// calls it on SIGTERM between http.Server.Shutdown and process exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel(errDrained)
+	}
+	s.mu.Unlock()
+	<-idle
+	return ErrDrainTimeout
+}
+
+// submitOutcome tells the handler how a submission was resolved.
+type submitOutcome int
+
+const (
+	submitQueued submitOutcome = iota
+	submitCached
+	submitSaturated // queue full: 429
+	submitDraining  // shutting down: 503
+)
+
+// submit admits a verification request: cache hit, enqueued job, or
+// rejection. req must already be validated.
+func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration) (*job, *Result, submitOutcome) {
+	d := prog.CanonicalDigest(p)
+	key := s.cacheKey(d, mode, maxStates)
+	if res := s.cache.get(key); res != nil {
+		return nil, res, submitCached
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &job{
+		mode:      mode,
+		digest:    d,
+		key:       key,
+		prg:       p,
+		maxStates: maxStates,
+		workers:   s.cfg.Workers,
+		timeout:   timeout,
+		ctx:       ctx,
+		cancel:    cancel,
+		created:   time.Now(),
+		status:    StatusQueued,
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel(errDrained)
+		return nil, nil, submitDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel(errDrained)
+		return nil, nil, submitSaturated
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	// Memoize and evict when the job reaches a terminal status.
+	go func() {
+		<-j.done
+		j.mu.Lock()
+		res := j.result
+		j.mu.Unlock()
+		if res != nil {
+			s.cache.put(j.key, res)
+		}
+		s.retire(j.id)
+	}()
+	return j, nil, submitQueued
+}
+
+// retire records a terminal job for eviction and drops the oldest
+// finished jobs beyond the retention bound.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.cfg.MaxFinished {
+		evict := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, evict)
+	}
+}
+
+// cacheKey derives the verdict-cache key. The digest captures the LTS;
+// mode and the effective state bound are the only request knobs that can
+// change a verdict (engine worker counts cannot, by the engines'
+// determinism contract).
+func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int) string {
+	return fmt.Sprintf("%s|%s|%d", d, mode, maxStates)
+}
+
+// getJob looks up a job by id.
+func (s *Server) getJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// counts returns (queued, running) for health reporting.
+func (s *Server) counts() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return
+}

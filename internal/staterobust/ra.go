@@ -294,7 +294,14 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 		return true
 	}
 
-	explore.RunParallel(workers, []explore.Item[node]{{ID: rootID, St: node{ps0, m0}}}, expand)
+	ro := explore.RunOpts{Ctx: lim.Ctx, ProgressEvery: progressEvery}
+	if lim.Progress != nil {
+		ro.Progress = func(int64) { lim.Progress(store.Len()) }
+	}
+	explore.RunParallelOpts(workers, []explore.Item[node]{{ID: rootID, St: node{ps0, m0}}}, expand, ro)
+	if lim.ctxDone() {
+		return nil, lim.canceled()
+	}
 	res.Explored = store.Len()
 	res.WeakStates = len(weak)
 	if bound {

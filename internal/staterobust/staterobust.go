@@ -24,6 +24,8 @@
 package staterobust
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/explore"
@@ -49,6 +51,14 @@ type Limits struct {
 	// full-run state counts are worker-count-independent; only witness
 	// traces (and counts on non-robust early exits) may differ.
 	Workers int
+	// Ctx, when non-nil, cancels the exploration cooperatively (polled
+	// every few hundred expansions at most): a cancelled run returns
+	// ErrCanceled, never a partial verdict.
+	Ctx context.Context
+	// Progress, when non-nil, is called every few thousand explored
+	// compound states with the running count. It may be invoked from
+	// worker goroutines concurrently and must be cheap and goroutine-safe.
+	Progress func(explored int)
 }
 
 func (l Limits) maxStates() int {
@@ -58,8 +68,29 @@ func (l Limits) maxStates() int {
 	return l.MaxStates
 }
 
+// ctxDone reports whether the limits' context has been cancelled.
+func (l Limits) ctxDone() bool {
+	return l.Ctx != nil && l.Ctx.Err() != nil
+}
+
+// canceled wraps the context's cause in ErrCanceled.
+func (l Limits) canceled() error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(l.Ctx))
+}
+
 // ErrBound is returned when an exploration exceeds its state bound.
 var ErrBound = fmt.Errorf("staterobust: state bound exceeded")
+
+// ErrCanceled is returned (wrapped, with the context's cause) when
+// Limits.Ctx is cancelled before the exploration completes.
+var ErrCanceled = errors.New("staterobust: exploration canceled")
+
+// ctxPollMask gates the sequential explorers' context polls (checked every
+// ctxPollMask+1 expansions).
+const ctxPollMask = 255
+
+// progressEvery is the explored-state granularity of Limits.Progress.
+const progressEvery = 4096
 
 // Result is the outcome of a state-robustness comparison.
 type Result struct {
@@ -117,10 +148,15 @@ func ReachableSC(program *lang.Program, lim Limits) (map[string]struct{}, error)
 		queue = append(queue, node{ps, m})
 	}
 	push(ps0, m0)
+	popped := 0
 	for len(queue) > 0 {
 		if len(seen) > lim.maxStates() {
 			return nil, ErrBound
 		}
+		if popped&ctxPollMask == 0 && lim.ctxDone() {
+			return nil, lim.canceled()
+		}
+		popped++
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		for t := range p.Threads {
@@ -150,6 +186,9 @@ func ReachableSC(program *lang.Program, lim Limits) (map[string]struct{}, error)
 			nextM.Step(label)
 			push(nextPS, nextM)
 		}
+	}
+	if lim.ctxDone() {
+		return nil, lim.canceled()
 	}
 	return reach, nil
 }

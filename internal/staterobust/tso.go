@@ -67,6 +67,7 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 		res.Explored = store.Len()
 		return res, nil
 	}
+	popped := 0
 	for {
 		item, ok := queue.Pop()
 		if !ok {
@@ -74,6 +75,13 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 		}
 		if store.Len() > lim.maxStates() {
 			return nil, ErrBound
+		}
+		if popped&ctxPollMask == 0 && lim.ctxDone() {
+			return nil, lim.canceled()
+		}
+		popped++
+		if lim.Progress != nil && popped%progressEvery == 0 {
+			lim.Progress(store.Len())
 		}
 		n := item.St
 		// Program actions (ε-granular, see ReachableSC).
@@ -164,6 +172,9 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 				queue.Push(id, node{n.ps.Clone(), nextM})
 			}
 		}
+	}
+	if lim.ctxDone() {
+		return nil, lim.canceled()
 	}
 	res.Explored = store.Len()
 	res.WeakStates = len(weak)
