@@ -1,0 +1,194 @@
+// Command fuzz drives the differential harness: it generates seeded
+// random programs (internal/gen), runs the full cross-check battery on
+// each (internal/diffcheck), minimizes any disagreement, and writes the
+// shrunken repro as a .lit file under -out, where the tier-1 regression
+// test picks it up forever after.
+//
+// Every program is identified by (seed, index): the stream is
+// deterministic, so a finding reported as seed S, index I reproduces with
+//
+//	go run ./cmd/fuzz -seed S -from I -n 1
+//
+// Exit status is 1 when any disagreement was found, 0 on a clean run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/diffcheck"
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 500, "number of programs to check")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		from      = flag.Int("from", 0, "first program index (reproduce a finding with -from I -n 1)")
+		quick     = flag.Bool("quick", false, "CI mode: run until -budget elapses (default 60s) instead of a fixed -n")
+		budget    = flag.Duration("budget", 0, "stop starting new programs after this long (0: no time limit)")
+		out       = flag.String("out", "testdata/regressions", "directory for minimized repros (created on first finding)")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent batteries")
+		variants  = flag.Int("variants", 2, "renamed/permuted variants per program for the digest-invariance check")
+		maxStates = flag.Int("maxstates", 0, "SCM-route state bound per engine run (0: default)")
+		raStates  = flag.Int("rastates", 0, "RA-machine state bound per run (0: default)")
+		threads   = flag.Int("threads", 0, "max threads per generated program (0: default)")
+		stmts     = flag.Int("stmts", 0, "max statements per thread (0: default)")
+		verbose   = flag.Bool("v", false, "log every finding as it is discovered")
+	)
+	flag.Parse()
+	if *quick {
+		if *budget == 0 {
+			*budget = 60 * time.Second
+		}
+		nSet := false
+		flag.Visit(func(f *flag.Flag) { nSet = nSet || f.Name == "n" })
+		if !nSet {
+			*n = 1 << 30 // the budget, not the count, ends a -quick run
+		}
+	}
+
+	g := gen.New(gen.Config{Seed: *seed, MaxThreads: *threads, MaxStmts: *stmts})
+	cfg := diffcheck.Config{MaxStates: *maxStates, RAMaxStates: *raStates}
+	var deadline time.Time
+	if *budget > 0 {
+		deadline = time.Now().Add(*budget)
+	}
+
+	type found struct {
+		index int
+		f     diffcheck.Finding
+	}
+	var (
+		mu       sync.Mutex
+		checked  int
+		robust   int
+		nonrob   int
+		unknown  int
+		skips    int
+		findings []found
+	)
+	start := time.Now()
+	record := func(idx int, rep *diffcheck.Report) {
+		mu.Lock()
+		defer mu.Unlock()
+		checked++
+		switch rep.Verdict {
+		case "robust":
+			robust++
+		case "non-robust":
+			nonrob++
+		default:
+			unknown++
+		}
+		skips += len(rep.Skipped)
+		for _, f := range rep.Findings {
+			findings = append(findings, found{idx, f})
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "FINDING seed=%d index=%d %s\n", *seed, idx, f)
+			}
+		}
+		if checked%500 == 0 {
+			fmt.Fprintf(os.Stderr, "fuzz: %d programs in %v (%d robust, %d non-robust, %d undecided, %d skipped checks, %d findings)\n",
+				checked, time.Since(start).Round(time.Second), robust, nonrob, unknown, skips, len(findings))
+		}
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				src := g.Source(i)
+				rep := diffcheck.CheckSource(src, cfg)
+				for v := 1; v <= *variants; v++ {
+					if f := diffcheck.CheckVariantDigest(src, g.Variant(i, uint64(v))); f != nil {
+						rep.Findings = append(rep.Findings, *f)
+					}
+				}
+				record(i, rep)
+			}
+		}()
+	}
+	for i := *from; i < *from+*n; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	fmt.Printf("fuzz: seed=%d checked=%d elapsed=%v robust=%d non-robust=%d undecided=%d skipped-checks=%d findings=%d\n",
+		*seed, checked, time.Since(start).Round(time.Millisecond), robust, nonrob, unknown, skips, len(findings))
+	if len(findings) == 0 {
+		return
+	}
+	for _, fd := range findings {
+		fmt.Printf("\nFINDING seed=%d index=%d check=%s\n%s\n", *seed, fd.index, fd.f.Check, indent(fd.f.Detail))
+		path, err := writeRepro(*out, *seed, fd.index, fd.f, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: writing repro: %v\n", err)
+			continue
+		}
+		fmt.Printf("minimized repro: %s\n", path)
+	}
+	os.Exit(1)
+}
+
+// writeRepro minimizes a finding's program (re-running the same check
+// class as the shrinking predicate) and writes it under dir with a header
+// recording how it was found.
+func writeRepro(dir string, seed uint64, index int, f diffcheck.Finding, cfg diffcheck.Config) (string, error) {
+	src := f.Source
+	// Digest-invariance findings are about a *pair* of renderings; the
+	// variant is kept as-is (shrinking one side would break the pair).
+	if p, err := parser.Parse(src); err == nil && f.Check != "variant-digest" {
+		min := diffcheck.Minimize(p, func(q *lang.Program) bool {
+			for _, g := range diffcheck.CheckProgram(q, cfg).Findings {
+				if g.Check == f.Check {
+					return true
+				}
+			}
+			return false
+		})
+		src = parser.Format(min)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("fuzz-s%d-i%d-%s.lit", seed, index, sanitize(f.Check))
+	path := filepath.Join(dir, name)
+	detail := f.Detail
+	if i := strings.IndexByte(detail, '\n'); i >= 0 {
+		detail = detail[:i]
+	}
+	header := fmt.Sprintf("# Found by cmd/fuzz: -seed %d, index %d, check %q.\n# %s\n# Reproduce: go run ./cmd/fuzz -seed %d -from %d -n 1\n\n",
+		seed, index, f.Check, detail, seed, index)
+	return path, os.WriteFile(path, []byte(header+src), 0o644)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

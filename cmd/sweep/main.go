@@ -37,19 +37,33 @@ func main() {
 
 	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
 		"program", "SCM states", "SCM time", "SC states", "SC time", "ratio")
+	// measure runs one engine invocation under its own -timeout deadline,
+	// canceled as soon as the measurement returns. The previous version
+	// shared a single per-row context between the SCM run and the SC
+	// baseline, so the baseline only got whatever budget the SCM run left
+	// over (nothing at all after an SCM timeout), and the deferred cancels
+	// kept every row's timer alive until the whole sweep exited.
+	measure := func(f func(ctx context.Context) error) error {
+		ctx := context.Background()
+		cancel := func() {}
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		defer cancel()
+		return f(ctx)
+	}
 	row := func(name, src string) {
 		p, err := parser.Parse(src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		ctx := context.Background()
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
-		}
-		v, err := core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx})
+		var v *core.Verdict
+		err = measure(func(ctx context.Context) error {
+			var verr error
+			v, verr = core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx})
+			return verr
+		})
 		if errors.Is(err, core.ErrCanceled) {
 			fmt.Printf("%-22s %10s %12s\n", name, "-", "timed out")
 			return
@@ -62,7 +76,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", name, "unexpectedly non-robust")
 			return
 		}
-		sc, err := core.VerifySC(p, core.Options{Workers: *workers, Ctx: ctx})
+		var sc *core.SCVerdict
+		err = measure(func(ctx context.Context) error {
+			var verr error
+			sc, verr = core.VerifySC(p, core.Options{Workers: *workers, Ctx: ctx})
+			return verr
+		})
 		if errors.Is(err, core.ErrCanceled) {
 			fmt.Printf("%-22s %10d %12v %10s %12s\n", name, v.States, v.Elapsed.Round(time.Millisecond), "-", "timed out")
 			return

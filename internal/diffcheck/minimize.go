@@ -1,0 +1,75 @@
+package diffcheck
+
+import "repro/internal/lang"
+
+// Minimize greedily shrinks a program while the predicate keeps holding
+// (failing reports "still exhibits the bug"). Two moves, iterated to a
+// fixpoint: delete a whole thread, then delete single instructions with
+// jump targets remapped the way fence.Apply remaps them in reverse — a
+// goto past the deleted instruction shifts down by one, a goto onto it
+// lands on its successor. Candidates that no longer validate are skipped,
+// so the result is always a well-formed program. The input is never
+// mutated; if the predicate does not hold on the input, a copy of it is
+// returned unchanged.
+func Minimize(p *lang.Program, failing func(*lang.Program) bool) *lang.Program {
+	cur := cloneProgram(p)
+	if !failing(cur) {
+		return cur
+	}
+	for {
+		changed := false
+		for ti := 0; len(cur.Threads) > 1 && ti < len(cur.Threads); ti++ {
+			cand := cloneProgram(cur)
+			cand.Threads = append(cand.Threads[:ti:ti], cand.Threads[ti+1:]...)
+			if cand.Validate() == nil && failing(cand) {
+				cur = cand
+				changed = true
+				ti--
+			}
+		}
+		for ti := range cur.Threads {
+			for ii := 0; ii < len(cur.Threads[ti].Insts); ii++ {
+				cand := deleteInst(cur, ti, ii)
+				if cand.Validate() == nil && failing(cand) {
+					cur = cand
+					changed = true
+					ii--
+				}
+			}
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+// deleteInst returns a copy of p with instruction ii of thread ti removed
+// and that thread's jump targets remapped.
+func deleteInst(p *lang.Program, ti, ii int) *lang.Program {
+	cand := cloneProgram(p)
+	th := &cand.Threads[ti]
+	th.Insts = append(th.Insts[:ii:ii], th.Insts[ii+1:]...)
+	for k := range th.Insts {
+		in := &th.Insts[k]
+		if in.Kind == lang.IGoto && in.Target > ii {
+			in.Target--
+		}
+	}
+	return cand
+}
+
+// cloneProgram copies a program deeply enough for the minimizer's edits:
+// the Locs, Threads, Insts, and RegNames slices are fresh; expression
+// trees are shared (the minimizer never mutates an expression).
+func cloneProgram(p *lang.Program) *lang.Program {
+	out := *p
+	out.Locs = append([]lang.LocInfo(nil), p.Locs...)
+	out.Threads = make([]lang.SeqProg, len(p.Threads))
+	for i := range p.Threads {
+		t := p.Threads[i]
+		t.Insts = append([]lang.Inst(nil), p.Threads[i].Insts...)
+		t.RegNames = append([]string(nil), p.Threads[i].RegNames...)
+		out.Threads[i] = t
+	}
+	return &out
+}

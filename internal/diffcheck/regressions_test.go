@@ -1,0 +1,57 @@
+package diffcheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/prog"
+)
+
+// Every minimized fuzzing repro committed under testdata/regressions runs
+// through the full battery forever: each file is a program on which some
+// pair of routes once disagreed (or which witnesses a falsified harness
+// assumption), so the battery staying clean on it is the regression test.
+func TestRegressionsCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "regressions")
+	files, err := filepath.Glob(filepath.Join(dir, "*.lit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .lit files under %s — the seed corpus should be committed", dir)
+	}
+	cfg := Config{RAMaxStates: 4000}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			b, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(b)
+			p, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("does not parse: %v", err)
+			}
+			// Committed repros are Format output (plus a comment header):
+			// reparsing must be the identity, on the digest and on the text.
+			f := parser.Format(p)
+			q, err := parser.Parse(f)
+			if err != nil {
+				t.Fatalf("formatted listing does not parse: %v\n%s", err, f)
+			}
+			if dp, dq := prog.CanonicalDigest(p), prog.CanonicalDigest(q); dp != dq {
+				t.Errorf("digest changed across Parse∘Format: %s vs %s", dp, dq)
+			}
+			if f2 := parser.Format(q); f2 != f {
+				t.Errorf("Format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", f, f2)
+			}
+			rep := CheckSource(src, cfg)
+			for _, fd := range rep.Findings {
+				t.Errorf("finding: %v", fd)
+			}
+		})
+	}
+}

@@ -1,0 +1,513 @@
+// Package gen is a seeded, deterministic generator of small well-formed
+// .lit programs, built for the differential fuzzing harness (cmd/fuzz and
+// internal/diffcheck): every program it emits parses, validates, and has a
+// state space small enough to explore through both verdict routes (the
+// §5 SCM reduction and the §3 RA timestamp machine) in milliseconds.
+//
+// Programs are generated as a small AST owned by this package and rendered
+// to source text, rather than emitted directly as text or as lang.Program
+// values, for one reason: the same program must be renderable under
+// different identifier schemes (renamed registers, locations, labels and
+// threads, and a permuted thread order) so the harness can assert that
+// prog.CanonicalDigest is invariant under representation-only changes.
+//
+// Determinism contract: Source(i) and Variant(i, v) depend only on the
+// generator's Config (including Seed) and the arguments — never on
+// iteration order, global state, or time. A finding is reproduced by its
+// (seed, index) pair alone; see EXPERIMENTS.md "Differential fuzzing".
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config tunes the generator. The zero value selects the defaults used by
+// cmd/fuzz: 2-4 threads, up to 7 statements per thread, arrays, fences,
+// loops, and occasional non-atomic locations and asserts.
+type Config struct {
+	// Seed is the base seed; program i draws from a stream derived from
+	// (Seed, i) only.
+	Seed uint64
+	// MaxThreads bounds the thread count (2..MaxThreads; default 4,
+	// clamped to [2,6]).
+	MaxThreads int
+	// MaxStmts bounds the per-thread statement count before loop jumps
+	// are added (default 7, clamped to [1,16]).
+	MaxStmts int
+	// NoExtras disables the features that gate cross-route verdict
+	// comparison (non-atomic locations and asserts); the round-trip and
+	// engine-parity checks still cover them when enabled.
+	NoExtras bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxThreads < 2 {
+		c.MaxThreads = 4
+	}
+	if c.MaxThreads > 6 {
+		c.MaxThreads = 6
+	}
+	if c.MaxStmts < 1 {
+		c.MaxStmts = 7
+	}
+	if c.MaxStmts > 16 {
+		c.MaxStmts = 16
+	}
+	return c
+}
+
+// Generator produces programs. Safe for concurrent use: all state is
+// immutable configuration.
+type Generator struct {
+	cfg Config
+}
+
+// New returns a generator for the given configuration.
+func New(cfg Config) *Generator { return &Generator{cfg: cfg.withDefaults()} }
+
+// Source returns the canonical rendering of program i.
+func (g *Generator) Source(i int) string {
+	p := g.Program(i)
+	return p.Render()
+}
+
+// Variant returns program i rendered under a renamed identifier scheme and
+// a permuted thread order derived from variant seed v (v = 0 yields a
+// renaming but keeps the canonical thread order). The result parses to a
+// program whose CanonicalDigest equals that of Source(i).
+func (g *Generator) Variant(i int, v uint64) string {
+	p := g.Program(i)
+	return p.renderWith(variantScheme(v), permutation(len(p.Threads), v))
+}
+
+// rng is a splitmix64 stream.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pct reports true with probability p/100.
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+// StmtKind enumerates generated statement forms.
+type StmtKind uint8
+
+// Statement kinds. Memory operands are a scalar location or an array cell
+// depending on Stmt.Arr.
+const (
+	SAssign StmtKind = iota // r := e
+	SGoto                   // if e goto L / goto L (E nil)
+	SWrite                  // x := e
+	SRead                   // r := x
+	SFADD                   // r := FADD(x, e)
+	SXCHG                   // r := XCHG(x, e)
+	SCAS                    // r := CAS(x, e, e2)
+	SWait                   // wait(x = e)
+	SBCAS                   // BCAS(x, e, e2)
+	SFence                  // fence
+	SAssert                 // assert e
+)
+
+// Expr is a tiny expression tree. Leaves are constants (L == nil,
+// R == nil, Op == "") or registers (Op == "r"); inner nodes carry a source
+// operator in Op ("+", "=", "&&", "!", ...).
+type Expr struct {
+	Op   string // "", "r", "!", or a binary operator
+	Val  int    // constant value ("")
+	Reg  int    // register index ("r")
+	L, R *Expr
+}
+
+func con(v int) *Expr                 { return &Expr{Val: v} }
+func regE(r int) *Expr                { return &Expr{Op: "r", Reg: r} }
+func bin(op string, l, r *Expr) *Expr { return &Expr{Op: op, L: l, R: r} }
+
+// Stmt is one generated statement.
+type Stmt struct {
+	Kind   StmtKind
+	Reg    int   // destination register
+	Loc    int   // scalar index (Arr false) or array index (Arr true)
+	Arr    bool  // memory operand is an array cell
+	Idx    *Expr // array cell index
+	E, E2  *Expr // operands (E2: CAS/BCAS replacement)
+	Target int   // SGoto: statement index (len(Stmts) = thread end)
+}
+
+// Thread is one generated thread.
+type Thread struct {
+	NumRegs int
+	Stmts   []Stmt
+}
+
+// Prog is a generated program.
+type Prog struct {
+	Vals    int
+	Scalars []bool // per-scalar NA flag
+	Arrays  []Array
+	Threads []Thread
+}
+
+// Array is a generated array declaration.
+type Array struct {
+	Size int
+	NA   bool
+}
+
+// HasExtras reports whether the program uses features that gate the
+// RA-machine vs SCM verdict comparison: non-atomic locations (the
+// state-robustness route does not model §6 race-UB) or asserts (which turn
+// the SCM verdict non-robust for a reason invisible to state robustness).
+func (p *Prog) HasExtras() bool {
+	for _, na := range p.Scalars {
+		if na {
+			return true
+		}
+	}
+	for _, a := range p.Arrays {
+		if a.NA {
+			return true
+		}
+	}
+	for ti := range p.Threads {
+		for si := range p.Threads[ti].Stmts {
+			if p.Threads[ti].Stmts[si].Kind == SAssert {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Program generates program i. The derivation mixes the config seed and
+// the index through one splitmix64 step so that neighbouring indices give
+// unrelated streams.
+func (g *Generator) Program(i int) Prog {
+	r := &rng{s: (g.cfg.Seed ^ 0x5851f42d4c957f2d) + uint64(i)*0x2545f4914f6cdd1d}
+	r.next()
+
+	p := Prog{Vals: 2 + r.intn(3)} // 2..4
+	nscal := 1 + r.intn(3)         // 1..3 scalars
+	extras := !g.cfg.NoExtras
+	for s := 0; s < nscal; s++ {
+		p.Scalars = append(p.Scalars, extras && r.pct(6))
+	}
+	if r.pct(35) {
+		p.Arrays = append(p.Arrays, Array{Size: 2 + r.intn(2), NA: extras && r.pct(5)})
+	}
+
+	nthreads := 2 + r.intn(g.cfg.MaxThreads-1) // 2..MaxThreads
+	// Keep the product state space small: more threads, fewer statements.
+	maxStmts := g.cfg.MaxStmts
+	if nthreads >= 4 {
+		maxStmts = min(maxStmts, 4)
+	} else if nthreads == 3 {
+		maxStmts = min(maxStmts, 5)
+	}
+	for t := 0; t < nthreads; t++ {
+		p.Threads = append(p.Threads, g.thread(r, &p, maxStmts, extras))
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// thread generates one thread: a straight-line body with occasional
+// forward skips, then possibly a trailing backward jump forming a loop.
+func (g *Generator) thread(r *rng, p *Prog, maxStmts int, extras bool) Thread {
+	t := Thread{NumRegs: 1 + r.intn(3)}
+	n := 1 + r.intn(maxStmts)
+	type pending struct{ at int } // forward jumps to resolve
+	var fwd []pending
+	for i := 0; i < n; i++ {
+		s := g.stmt(r, p, &t, extras)
+		t.Stmts = append(t.Stmts, s)
+		// Occasional forward conditional skip over the rest of the body.
+		if len(fwd) == 0 && i < n-1 && r.pct(10) {
+			fwd = append(fwd, pending{at: len(t.Stmts)})
+			t.Stmts = append(t.Stmts, Stmt{Kind: SGoto, E: g.expr(r, p, &t, 1), Target: -1})
+		}
+	}
+	// Backward jump: a conditional retry loop over a suffix of the body.
+	if r.pct(40) {
+		back := r.intn(len(t.Stmts) + 1)
+		var cond *Expr
+		if r.pct(80) {
+			cond = g.expr(r, p, &t, 1) // conditional: terminates state-finitely
+		}
+		t.Stmts = append(t.Stmts, Stmt{Kind: SGoto, E: cond, Target: back})
+	}
+	for _, f := range fwd {
+		// Resolve to a random point strictly after the jump (possibly the
+		// thread end).
+		lo := f.at + 1
+		t.Stmts[f.at].Target = lo + r.intn(len(t.Stmts)-lo+1)
+	}
+	return t
+}
+
+// memOperand picks a memory operand: (scalar loc, false, nil) or
+// (array, true, index). rmw restricts the choice to atomic locations.
+func (g *Generator) memOperand(r *rng, p *Prog, t *Thread, rmw bool) (int, bool, *Expr) {
+	if len(p.Arrays) > 0 && r.pct(30) {
+		ai := r.intn(len(p.Arrays))
+		if !(rmw && p.Arrays[ai].NA) {
+			var idx *Expr
+			if r.pct(50) {
+				idx = regE(r.intn(t.NumRegs))
+			} else {
+				idx = con(r.intn(p.Vals))
+			}
+			return ai, true, idx
+		}
+	}
+	for {
+		s := r.intn(len(p.Scalars))
+		if !(rmw && p.Scalars[s]) {
+			return s, false, nil
+		}
+		// All-NA scalar sets are possible only with extras; fall back to
+		// scalar 0 made atomic by construction odds — retry is bounded in
+		// practice, but guard hard anyway.
+		allNA := true
+		for _, na := range p.Scalars {
+			if !na {
+				allNA = false
+				break
+			}
+		}
+		if allNA {
+			p.Scalars[0] = false
+			return 0, false, nil
+		}
+	}
+}
+
+// expr generates an expression of the given depth budget.
+func (g *Generator) expr(r *rng, p *Prog, t *Thread, depth int) *Expr {
+	if depth <= 0 || r.pct(45) {
+		if r.pct(50) {
+			return con(r.intn(p.Vals))
+		}
+		return regE(r.intn(t.NumRegs))
+	}
+	if r.pct(8) {
+		return &Expr{Op: "!", L: g.expr(r, p, t, depth-1)}
+	}
+	ops := []string{"+", "-", "*", "%", "=", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	op := ops[r.intn(len(ops))]
+	return bin(op, g.expr(r, p, t, depth-1), g.expr(r, p, t, depth-1))
+}
+
+// stmt generates one non-control statement.
+func (g *Generator) stmt(r *rng, p *Prog, t *Thread, extras bool) Stmt {
+	for {
+		switch k := r.intn(100); {
+		case k < 26: // write
+			loc, arr, idx := g.memOperand(r, p, t, false)
+			return Stmt{Kind: SWrite, Loc: loc, Arr: arr, Idx: idx, E: g.expr(r, p, t, 1)}
+		case k < 48: // read
+			loc, arr, idx := g.memOperand(r, p, t, false)
+			return Stmt{Kind: SRead, Reg: r.intn(t.NumRegs), Loc: loc, Arr: arr, Idx: idx}
+		case k < 58: // local assign
+			return Stmt{Kind: SAssign, Reg: r.intn(t.NumRegs), E: g.expr(r, p, t, 2)}
+		case k < 68: // CAS
+			loc, arr, idx := g.memOperand(r, p, t, true)
+			return Stmt{Kind: SCAS, Reg: r.intn(t.NumRegs), Loc: loc, Arr: arr, Idx: idx,
+				E: g.expr(r, p, t, 0), E2: g.expr(r, p, t, 0)}
+		case k < 77: // FADD
+			loc, arr, idx := g.memOperand(r, p, t, true)
+			return Stmt{Kind: SFADD, Reg: r.intn(t.NumRegs), Loc: loc, Arr: arr, Idx: idx,
+				E: g.expr(r, p, t, 0)}
+		case k < 83: // XCHG
+			loc, arr, idx := g.memOperand(r, p, t, true)
+			return Stmt{Kind: SXCHG, Reg: r.intn(t.NumRegs), Loc: loc, Arr: arr, Idx: idx,
+				E: g.expr(r, p, t, 0)}
+		case k < 90: // fence
+			return Stmt{Kind: SFence}
+		case k < 94: // wait
+			loc, arr, idx := g.memOperand(r, p, t, true)
+			return Stmt{Kind: SWait, Loc: loc, Arr: arr, Idx: idx, E: g.expr(r, p, t, 0)}
+		case k < 97: // BCAS
+			loc, arr, idx := g.memOperand(r, p, t, true)
+			return Stmt{Kind: SBCAS, Loc: loc, Arr: arr, Idx: idx,
+				E: g.expr(r, p, t, 0), E2: g.expr(r, p, t, 0)}
+		default: // assert (extras only; otherwise retry)
+			if extras && r.pct(30) {
+				return Stmt{Kind: SAssert, E: g.expr(r, p, t, 1)}
+			}
+		}
+	}
+}
+
+// scheme names every identifier class during rendering.
+type scheme struct {
+	prog   string
+	scalar func(i int) string
+	array  func(i int) string
+	thread func(i int) string
+	reg    func(t, i int) string
+	label  func(t, at int) string
+}
+
+func canonicalScheme() scheme {
+	return scheme{
+		prog:   "fuzz",
+		scalar: func(i int) string { return fmt.Sprintf("x%d", i) },
+		array:  func(i int) string { return fmt.Sprintf("arr%d", i) },
+		thread: func(i int) string { return fmt.Sprintf("t%d", i) },
+		reg:    func(t, i int) string { return fmt.Sprintf("r%d", i) },
+		label:  func(t, at int) string { return fmt.Sprintf("L%d", at) },
+	}
+}
+
+// variantScheme derives an alternative naming from seed v. Names stay
+// globally unambiguous (distinct prefixes per class, indices appended) but
+// share no text with the canonical ones; registers and labels also get
+// per-thread prefixes, exercising the parser's per-thread scoping.
+func variantScheme(v uint64) scheme {
+	r := rng{s: v ^ 0xa0761d6478bd642f}
+	pick := func(opts ...string) string { return opts[r.intn(len(opts))] }
+	sp := pick("loc_", "cell", "mem_")
+	ap := pick("buf", "ring_", "slots")
+	tp := pick("worker", "proc_", "th")
+	rp := pick("v", "tmp", "acc")
+	lp := pick("back", "again_", "jmp")
+	return scheme{
+		prog:   "renamed-variant",
+		scalar: func(i int) string { return fmt.Sprintf("%s%d", sp, i) },
+		array:  func(i int) string { return fmt.Sprintf("%s%d", ap, i) },
+		thread: func(i int) string { return fmt.Sprintf("%s%d", tp, i) },
+		reg:    func(t, i int) string { return fmt.Sprintf("%s%d_%d", rp, t, i) },
+		label:  func(t, at int) string { return fmt.Sprintf("%s%d_%d", lp, t, at) },
+	}
+}
+
+// permutation derives a permutation of [0,n) from seed v.
+func permutation(n int, v uint64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	r := rng{s: v ^ 0xe7037ed1a0b428db}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Render returns the canonical source text.
+func (p *Prog) Render() string {
+	perm := make([]int, len(p.Threads))
+	for i := range perm {
+		perm[i] = i
+	}
+	return p.renderWith(canonicalScheme(), perm)
+}
+
+func (p *Prog) renderWith(sc scheme, perm []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", sc.prog)
+	fmt.Fprintf(&b, "vals %d\n", p.Vals)
+	for i, na := range p.Scalars {
+		if na {
+			fmt.Fprintf(&b, "na %s\n", sc.scalar(i))
+		} else {
+			fmt.Fprintf(&b, "locs %s\n", sc.scalar(i))
+		}
+	}
+	for i, a := range p.Arrays {
+		if a.NA {
+			fmt.Fprintf(&b, "na array %s %d\n", sc.array(i), a.Size)
+		} else {
+			fmt.Fprintf(&b, "array %s %d\n", sc.array(i), a.Size)
+		}
+	}
+	for _, ti := range perm {
+		p.renderThread(&b, sc, ti)
+	}
+	return b.String()
+}
+
+func (p *Prog) renderThread(b *strings.Builder, sc scheme, ti int) {
+	t := &p.Threads[ti]
+	fmt.Fprintf(b, "\nthread %s\n", sc.thread(ti))
+	targets := map[int]bool{}
+	for i := range t.Stmts {
+		if t.Stmts[i].Kind == SGoto {
+			targets[t.Stmts[i].Target] = true
+		}
+	}
+	var expr func(e *Expr) string
+	expr = func(e *Expr) string {
+		switch e.Op {
+		case "":
+			return fmt.Sprintf("%d", e.Val)
+		case "r":
+			return sc.reg(ti, e.Reg)
+		case "!":
+			return "!(" + expr(e.L) + ")"
+		}
+		return "(" + expr(e.L) + " " + e.Op + " " + expr(e.R) + ")"
+	}
+	mem := func(s *Stmt) string {
+		if s.Arr {
+			return fmt.Sprintf("%s[%s]", sc.array(s.Loc), expr(s.Idx))
+		}
+		return sc.scalar(s.Loc)
+	}
+	for i := range t.Stmts {
+		if targets[i] {
+			fmt.Fprintf(b, "%s:\n", sc.label(ti, i))
+		}
+		s := &t.Stmts[i]
+		b.WriteString("  ")
+		switch s.Kind {
+		case SAssign:
+			fmt.Fprintf(b, "%s := %s", sc.reg(ti, s.Reg), expr(s.E))
+		case SGoto:
+			if s.E == nil {
+				fmt.Fprintf(b, "goto %s", sc.label(ti, s.Target))
+			} else {
+				fmt.Fprintf(b, "if %s goto %s", expr(s.E), sc.label(ti, s.Target))
+			}
+		case SWrite:
+			fmt.Fprintf(b, "%s := %s", mem(s), expr(s.E))
+		case SRead:
+			fmt.Fprintf(b, "%s := %s", sc.reg(ti, s.Reg), mem(s))
+		case SFADD:
+			fmt.Fprintf(b, "%s := FADD(%s, %s)", sc.reg(ti, s.Reg), mem(s), expr(s.E))
+		case SXCHG:
+			fmt.Fprintf(b, "%s := XCHG(%s, %s)", sc.reg(ti, s.Reg), mem(s), expr(s.E))
+		case SCAS:
+			fmt.Fprintf(b, "%s := CAS(%s, %s, %s)", sc.reg(ti, s.Reg), mem(s), expr(s.E), expr(s.E2))
+		case SWait:
+			fmt.Fprintf(b, "wait(%s = %s)", mem(s), expr(s.E))
+		case SBCAS:
+			fmt.Fprintf(b, "BCAS(%s, %s, %s)", mem(s), expr(s.E), expr(s.E2))
+		case SFence:
+			b.WriteString("fence")
+		case SAssert:
+			fmt.Fprintf(b, "assert %s", expr(s.E))
+		}
+		b.WriteByte('\n')
+	}
+	if targets[len(t.Stmts)] {
+		fmt.Fprintf(b, "%s:\n", sc.label(ti, len(t.Stmts)))
+	}
+	b.WriteString("end\n")
+}

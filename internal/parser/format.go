@@ -22,6 +22,14 @@ import (
 // MemRef with Size > 1. Locations never referenced that way (including
 // cells of size-1 arrays, which compile to plain scalar accesses) are
 // emitted as scalars; that changes the declaration style but not the LTS.
+//
+// The distinguished fence location (FenceLoc) is identified BY NAME —
+// fence.Apply reuses it so that all fences synchronize, per Example 3.6 —
+// so printing its accesses as plain FADDs on a renamed scalar would lose
+// exactly the property that makes them fences. When the location and its
+// accesses have the shape the "fence" pseudo-instruction desugars to,
+// Format prints them back as "fence" and omits the (reserved, undeclarable)
+// location; see fenceSugar for the conditions.
 func Format(p *lang.Program) string {
 	var b strings.Builder
 	if isIdent(p.Name) {
@@ -38,8 +46,13 @@ func Format(p *lang.Program) string {
 			}
 		}
 	}
+	fl, sugar := fenceSugar(p)
 	for i := 0; i < len(p.Locs); {
 		loc := lang.Loc(i)
+		if sugar && loc == fl {
+			i++
+			continue
+		}
 		if size, ok := arrays[loc]; ok {
 			if p.Locs[i].NA {
 				fmt.Fprintf(&b, "na array a%d %d\n", i, size)
@@ -93,7 +106,11 @@ func Format(p *lang.Program) string {
 			case lang.IRead:
 				fmt.Fprintf(&b, "r%d := %s", in.Reg, mem(in.Mem))
 			case lang.IFADD:
-				fmt.Fprintf(&b, "r%d := FADD(%s, %s)", in.Reg, mem(in.Mem), in.E.String())
+				if sugar && in.Mem.Index == nil && in.Mem.Base == fl {
+					b.WriteString("fence")
+				} else {
+					fmt.Fprintf(&b, "r%d := FADD(%s, %s)", in.Reg, mem(in.Mem), in.E.String())
+				}
 			case lang.IXCHG:
 				fmt.Fprintf(&b, "r%d := XCHG(%s, %s)", in.Reg, mem(in.Mem), in.E.String())
 			case lang.ICAS:
@@ -113,6 +130,83 @@ func Format(p *lang.Program) string {
 		b.WriteString("end\n")
 	}
 	return b.String()
+}
+
+// fenceSugar reports whether the program's accesses to the distinguished
+// fence location can be faithfully printed as the "fence"
+// pseudo-instruction. Reparsing then re-derives the same LTS: the fence
+// location is re-created (by name, last, as the parser always places it)
+// and each "fence" desugars to the same FADD. That needs:
+//
+//   - the fence location to be last (the reparse appends it last, and any
+//     other position would shift the indices of later locations);
+//   - every access to it to be exactly the desugared shape — a scalar
+//     FADD of constant 0;
+//   - within each thread, all fences to share one scratch register that
+//     nothing else reads or writes (the reparse binds them to a single
+//     fresh register, so any other use would change meaning).
+//
+// Programs built by the parser or by fence.Apply satisfy all three; for
+// anything else Format falls back to plain FADDs on a renamed scalar,
+// which preserves the LTS and digest but not the location's fence role.
+func fenceSugar(p *lang.Program) (lang.Loc, bool) {
+	fl, ok := p.LocByName(FenceLoc)
+	if !ok || int(fl) != len(p.Locs)-1 || p.Locs[fl].NA {
+		return 0, false
+	}
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		var scratch lang.Reg
+		haveScratch := false
+		var refs func(e *lang.Expr) bool
+		refs = func(e *lang.Expr) bool {
+			if e == nil {
+				return false
+			}
+			if e.Kind == lang.EReg && e.Reg == scratch {
+				return true
+			}
+			return refs(e.L) || refs(e.R)
+		}
+		// First pass: the threads' fence instructions must agree on one
+		// scratch register.
+		for ii := range t.Insts {
+			in := &t.Insts[ii]
+			if in.Kind == lang.IFADD && in.Mem.Index == nil && in.Mem.Base == fl {
+				if in.E.Kind != lang.EConst || in.E.Const != 0 {
+					return 0, false
+				}
+				if haveScratch && in.Reg != scratch {
+					return 0, false
+				}
+				scratch, haveScratch = in.Reg, true
+			}
+		}
+		// Second pass: nothing else may touch the fence location or the
+		// scratch register.
+		for ii := range t.Insts {
+			in := &t.Insts[ii]
+			if in.Kind == lang.IFADD && in.Mem.Index == nil && in.Mem.Base == fl {
+				continue
+			}
+			if in.IsMem() && int(in.Mem.Base)+in.Mem.Size > int(fl) {
+				return 0, false
+			}
+			if !haveScratch {
+				continue
+			}
+			switch in.Kind {
+			case lang.IAssign, lang.IRead, lang.IFADD, lang.IXCHG, lang.ICAS:
+				if in.Reg == scratch {
+					return 0, false
+				}
+			}
+			if refs(in.E) || refs(in.ER) || refs(in.EW) || refs(in.Mem.Index) {
+				return 0, false
+			}
+		}
+	}
+	return fl, true
 }
 
 // isIdent reports whether s lexes as a single identifier token, i.e. can

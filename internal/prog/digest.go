@@ -1,7 +1,9 @@
 package prog
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/lang"
 )
@@ -21,11 +23,15 @@ func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
 //   - renaming of programs, threads, locations, and registers (names are
 //     not serialized; registers are renumbered canonically in order of
 //     first textual appearance, so any consistent renaming is absorbed),
+//   - permutation of the thread order (since v2: the per-thread
+//     serializations are sorted before hashing — every verdict the digest
+//     keys is invariant under thread permutation, because no memory model
+//     here treats thread identities asymmetrically),
 //
 // while any change to the transition system itself — an instruction, an
 // operand expression, a jump target, the value domain, a location's
-// non-atomic flag, the location or thread layout — changes it (up to hash
-// collisions, < n²·2⁻¹²⁸ over n programs).
+// non-atomic flag, the location layout or the multiset of threads —
+// changes it (up to hash collisions, < n²·2⁻¹²⁸ over n programs).
 //
 // This is the verdict-cache key of the rockerd service: a robustness
 // verdict depends only on the LTS, so digest-equal programs share verdicts.
@@ -34,7 +40,7 @@ func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
 func CanonicalDigest(p *lang.Program) Digest {
 	var h digestHasher
 	h.byte('P')
-	h.byte(1) // serialization version
+	h.byte(2) // serialization version (2: sorted thread serializations)
 	h.byte(byte(p.ValCount))
 	h.u16(len(p.Locs))
 	for i := range p.Locs {
@@ -45,92 +51,108 @@ func CanonicalDigest(p *lang.Program) Digest {
 		}
 	}
 	h.byte(byte(len(p.Threads)))
+	threads := make([][]byte, len(p.Threads))
 	for ti := range p.Threads {
-		t := &p.Threads[ti]
+		threads[ti] = appendThread(nil, &p.Threads[ti])
+	}
+	sort.Slice(threads, func(i, j int) bool {
+		return bytes.Compare(threads[i], threads[j]) < 0
+	})
+	for _, tb := range threads {
 		h.byte('T')
-		h.u16(len(t.Insts))
-		// Canonical register numbering: registers are renumbered in order
-		// of first appearance, visiting each instruction's fields in the
-		// parser's textual order, so the numbering matches what reparsing
-		// a pretty-printed listing would allocate.
-		canon := map[lang.Reg]byte{}
-		reg := func(r lang.Reg) {
-			c, ok := canon[r]
-			if !ok {
-				c = byte(len(canon))
-				canon[r] = c
-			}
-			h.byte('r')
-			h.byte(c)
-		}
-		var expr func(e *lang.Expr)
-		expr = func(e *lang.Expr) {
-			if e == nil {
-				h.byte('z')
-				return
-			}
-			switch e.Kind {
-			case lang.EConst:
-				h.byte('c')
-				h.byte(byte(e.Const))
-			case lang.EReg:
-				reg(e.Reg)
-			case lang.EBin:
-				h.byte('b')
-				h.byte(byte(e.Op))
-				expr(e.L)
-				expr(e.R)
-			case lang.ENot:
-				h.byte('n')
-				expr(e.L)
-			}
-		}
-		mem := func(m lang.MemRef) {
-			h.byte('M')
-			h.byte(byte(m.Base))
-			h.u16(m.Size)
-			if m.Size > 1 {
-				expr(m.Index)
-			}
-		}
-		for ii := range t.Insts {
-			in := &t.Insts[ii]
-			h.byte(byte(in.Kind))
-			switch in.Kind {
-			case lang.IAssign:
-				reg(in.Reg)
-				expr(in.E)
-			case lang.IGoto:
-				expr(in.E)
-				h.u16(in.Target)
-			case lang.IWrite:
-				mem(in.Mem)
-				expr(in.E)
-			case lang.IRead:
-				reg(in.Reg)
-				mem(in.Mem)
-			case lang.IFADD, lang.IXCHG:
-				reg(in.Reg)
-				mem(in.Mem)
-				expr(in.E)
-			case lang.ICAS:
-				reg(in.Reg)
-				mem(in.Mem)
-				expr(in.ER)
-				expr(in.EW)
-			case lang.IWait:
-				mem(in.Mem)
-				expr(in.E)
-			case lang.IBCAS:
-				mem(in.Mem)
-				expr(in.ER)
-				expr(in.EW)
-			case lang.IAssert:
-				expr(in.E)
-			}
+		for _, b := range tb {
+			h.byte(b)
 		}
 	}
 	return h.sum()
+}
+
+// appendThread appends the canonical serialization of one thread to buf.
+// Thread serializations are hashed in sorted (not program) order, so each
+// must be self-contained: it carries the instruction count up front and
+// never references the thread's index.
+func appendThread(buf []byte, t *lang.SeqProg) []byte {
+	u16 := func(v int) {
+		buf = append(buf, byte(v), byte(v>>8))
+	}
+	u16(len(t.Insts))
+	// Canonical register numbering: registers are renumbered in order
+	// of first appearance, visiting each instruction's fields in the
+	// parser's textual order, so the numbering matches what reparsing
+	// a pretty-printed listing would allocate.
+	canon := map[lang.Reg]byte{}
+	reg := func(r lang.Reg) {
+		c, ok := canon[r]
+		if !ok {
+			c = byte(len(canon))
+			canon[r] = c
+		}
+		buf = append(buf, 'r', c)
+	}
+	var expr func(e *lang.Expr)
+	expr = func(e *lang.Expr) {
+		if e == nil {
+			buf = append(buf, 'z')
+			return
+		}
+		switch e.Kind {
+		case lang.EConst:
+			buf = append(buf, 'c', byte(e.Const))
+		case lang.EReg:
+			reg(e.Reg)
+		case lang.EBin:
+			buf = append(buf, 'b', byte(e.Op))
+			expr(e.L)
+			expr(e.R)
+		case lang.ENot:
+			buf = append(buf, 'n')
+			expr(e.L)
+		}
+	}
+	mem := func(m lang.MemRef) {
+		buf = append(buf, 'M', byte(m.Base))
+		u16(m.Size)
+		if m.Size > 1 {
+			expr(m.Index)
+		}
+	}
+	for ii := range t.Insts {
+		in := &t.Insts[ii]
+		buf = append(buf, byte(in.Kind))
+		switch in.Kind {
+		case lang.IAssign:
+			reg(in.Reg)
+			expr(in.E)
+		case lang.IGoto:
+			expr(in.E)
+			u16(in.Target)
+		case lang.IWrite:
+			mem(in.Mem)
+			expr(in.E)
+		case lang.IRead:
+			reg(in.Reg)
+			mem(in.Mem)
+		case lang.IFADD, lang.IXCHG:
+			reg(in.Reg)
+			mem(in.Mem)
+			expr(in.E)
+		case lang.ICAS:
+			reg(in.Reg)
+			mem(in.Mem)
+			expr(in.ER)
+			expr(in.EW)
+		case lang.IWait:
+			mem(in.Mem)
+			expr(in.E)
+		case lang.IBCAS:
+			mem(in.Mem)
+			expr(in.ER)
+			expr(in.EW)
+		case lang.IAssert:
+			expr(in.E)
+		}
+	}
+	return buf
 }
 
 // digestHasher is a self-contained two-lane 64-bit FNV-1a variant with a

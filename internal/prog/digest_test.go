@@ -41,7 +41,7 @@ func TestDigestPinned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "c2b508b4ff831ad3a701d17efdb87ad7"
+	const want = "9ca53fd3166539ab021e85cfc245c52b"
 	if got := CanonicalDigest(p).String(); got != want {
 		t.Errorf("pinned digest changed: got %s want %s", got, want)
 	}
@@ -77,6 +77,15 @@ func TestDigestInvariance(t *testing.T) {
 			s = strings.ReplaceAll(s, "program base", "program other")
 			return strings.ReplaceAll(s, "thread p0", "thread writer")
 		},
+		// Since v2, the digest canonicalizes the thread order: every
+		// verdict it keys is invariant under thread permutation (no model
+		// here treats thread identities asymmetrically), so permuted
+		// programs share a cache entry.
+		"thread permutation": func(s string) string {
+			i0 := strings.Index(s, "thread p0")
+			i1 := strings.Index(s, "thread p1")
+			return s[:i0] + s[i1:] + "\n" + s[i0:i1]
+		},
 	}
 	for name, edit := range variants {
 		q, err := parser.Parse(edit(digestBase))
@@ -90,8 +99,8 @@ func TestDigestInvariance(t *testing.T) {
 }
 
 // TestDigestSensitivity checks that semantic edits — a changed constant,
-// operator, jump target, value domain, non-atomic flag, instruction kind,
-// or thread order — each produce a distinct digest.
+// operator, jump target, value domain, non-atomic flag, or instruction
+// kind — each produce a distinct digest.
 func TestDigestSensitivity(t *testing.T) {
 	seen := map[Digest]string{}
 	add := func(t *testing.T, name, src string) {
@@ -120,13 +129,6 @@ func TestDigestSensitivity(t *testing.T) {
 	for name, e := range edits {
 		add(t, name, strings.Replace(digestBase, e[0], e[1], 1))
 	}
-	// Swapping thread bodies changes which tid performs which steps.
-	swapped := strings.ReplaceAll(digestBase, "thread p0", "thread pT")
-	swapped = strings.ReplaceAll(swapped, "thread p1", "thread p0")
-	swapped = strings.ReplaceAll(swapped, "thread pT", "thread p1")
-	i0 := strings.Index(swapped, "thread p1")
-	i1 := strings.Index(swapped, "thread p0")
-	add(t, "thread order", swapped[:i0]+swapped[i1:]+"\n"+swapped[i0:i1])
 }
 
 // TestDigestFormatRoundTrip is the property the verdict cache rests on:

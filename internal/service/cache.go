@@ -37,7 +37,11 @@ func newVerdictCache(capacity int) *verdictCache {
 }
 
 // get returns the cached result for key, promoting it to most recently
-// used, or nil.
+// used, or nil. The caller gets its own copy: the cached Result is shared
+// by every future hit (and the job that produced it), so handing out the
+// internal pointer would turn any caller-side field write into a data
+// race with concurrent requests. Result is a flat value type, so a
+// shallow copy is a full copy.
 func (c *verdictCache) get(key string) *Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -48,20 +52,24 @@ func (c *verdictCache) get(key string) *Result {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res
+	cp := *el.Value.(*cacheEntry).res
+	return &cp
 }
 
 // put inserts or refreshes key, evicting the least recently used entry
-// when over capacity.
+// when over capacity. The cache keeps its own copy for the same reason
+// get returns one: the caller (the finished job) retains its pointer and
+// serves it to snapshot readers.
 func (c *verdictCache) put(key string, res *Result) {
+	cp := *res
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).res = &cp
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: &cp})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

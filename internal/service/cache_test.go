@@ -1,22 +1,24 @@
 package service
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // TestVerdictCacheLRU checks insertion, promotion-on-get, and
 // least-recently-used eviction.
 func TestVerdictCacheLRU(t *testing.T) {
 	c := newVerdictCache(2)
-	a, b, d := &Result{Mode: "a"}, &Result{Mode: "b"}, &Result{Mode: "d"}
-	c.put("a", a)
-	c.put("b", b)
-	if got := c.get("a"); got != a { // promotes a over b
+	c.put("a", &Result{Mode: "a"})
+	c.put("b", &Result{Mode: "b"})
+	if got := c.get("a"); got == nil || got.Mode != "a" { // promotes a over b
 		t.Fatalf("get(a) = %v", got)
 	}
-	c.put("d", d) // evicts b, the least recently used
+	c.put("d", &Result{Mode: "d"}) // evicts b, the least recently used
 	if got := c.get("b"); got != nil {
 		t.Fatalf("b survived eviction: %v", got)
 	}
-	if c.get("a") != a || c.get("d") != d {
+	if a, d := c.get("a"), c.get("d"); a == nil || a.Mode != "a" || d == nil || d.Mode != "d" {
 		t.Fatal("a or d evicted early")
 	}
 	entries, hits, misses := c.stats()
@@ -36,5 +38,58 @@ func TestVerdictCacheRefresh(t *testing.T) {
 	}
 	if entries, _, _ := c.stats(); entries != 1 {
 		t.Errorf("entries = %d, want 1", entries)
+	}
+}
+
+// TestVerdictCacheNoAliasing pins the defensive-copy contract: neither
+// the pointer passed to put nor the one returned by get aliases the
+// cache's internal entry, so caller-side writes never leak into (or out
+// of) the cache.
+func TestVerdictCacheNoAliasing(t *testing.T) {
+	c := newVerdictCache(2)
+	mine := &Result{Mode: ModeRA, States: 7}
+	c.put("k", mine)
+	mine.States = 99 // after put: must not reach the cache
+	first := c.get("k")
+	if first == nil || first.States != 7 {
+		t.Fatalf("put aliased the caller's result: %+v", first)
+	}
+	first.States = 42 // after get: must not reach the cache
+	second := c.get("k")
+	if second == nil || second.States != 7 {
+		t.Fatalf("get aliased the cache's result: %+v", second)
+	}
+	if first == second {
+		t.Fatal("two gets returned the same pointer")
+	}
+}
+
+// TestVerdictCacheConcurrentOneKey hammers a single key from many
+// goroutines that mutate every result they get and re-put their own —
+// the scenario where shared pointers become data races. Run under
+// -race this is the regression test for the get/put aliasing bug.
+func TestVerdictCacheConcurrentOneKey(t *testing.T) {
+	c := newVerdictCache(4)
+	c.put("k", &Result{Mode: ModeRA, States: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if res := c.get("k"); res != nil {
+					res.States++ // caller owns its copy
+					res.Mode = "scratch"
+				}
+				r := &Result{Mode: ModeRA, States: w}
+				c.put("k", r)
+				r.States = -1 // caller keeps ownership after put
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := c.get("k")
+	if res == nil || res.Mode != ModeRA || res.States < 0 {
+		t.Fatalf("cache leaked a caller-mutated result: %+v", res)
 	}
 }
