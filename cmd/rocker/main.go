@@ -9,6 +9,7 @@
 //	rocker [flags] file.lit
 //	rocker [flags] -corpus name     # run a built-in corpus program
 //	rocker -list                    # list the built-in corpus
+//	rocker vet file.lit...          # lint programs, non-zero exit on findings
 //
 // Flags:
 //
@@ -16,6 +17,9 @@
 //	-hashcompact  store 128-bit state hashes instead of full encodings
 //	-max N        abort after N states (0 = unbounded)
 //	-workers N    parallel exploration workers (0 = all cores, 1 = sequential)
+//	-prune        run the static conflict-analysis pre-pass (internal/analysis)
+//	-explain      print the pre-pass report: summaries, conflict graph,
+//	              pruned locations, and the certificate or why it declined
 //	-trace        print the counterexample SC run on violations
 //	-q            print only the verdict line
 //	-stats        print exploration statistics (states/sec, heap, GC cycles)
@@ -46,6 +50,9 @@ func main() {
 }
 
 func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		return runVet(os.Args[2:])
+	}
 	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
 	model := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")
 	hashCompact := flag.Bool("hashcompact", false, "hash-compact visited set")
@@ -54,6 +61,8 @@ func run() int {
 	trace := flag.Bool("trace", true, "print counterexample traces")
 	quiet := flag.Bool("q", false, "verdict line only")
 	stats := flag.Bool("stats", false, "print exploration statistics (states/sec, heap, GC cycles)")
+	prune := flag.Bool("prune", false, "run the static conflict-analysis pre-pass before exploring")
+	explain := flag.Bool("explain", false, "print the static-analysis report (implies -prune)")
 	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
 	list := flag.Bool("list", false, "list built-in corpus programs")
 	all := flag.Bool("all", false, "verify the whole corpus and compare against the expected verdicts")
@@ -170,16 +179,26 @@ func run() int {
 		MaxStates:    *maxStates,
 		Workers:      *workers,
 		Ctx:          ctx,
+		StaticPrune:  *prune || *explain,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if !*explain && v.Analysis != nil {
+		// -prune without -explain: keep the verdict output, drop the
+		// full analysis dump.
+		v.Analysis = nil
 	}
 	if *quiet {
 		verdict := "ROBUST"
 		if !v.Robust {
 			verdict = "NOT-ROBUST"
 		}
-		fmt.Printf("%s %s states=%d time=%v\n", program.Name, verdict, v.States, v.Elapsed)
+		extra := ""
+		if v.Certificate {
+			extra = " certificate=static"
+		}
+		fmt.Printf("%s %s states=%d time=%v%s\n", program.Name, verdict, v.States, v.Elapsed, extra)
 	} else {
 		out := core.Explain(program, v)
 		if !*trace && !v.Robust {
@@ -188,7 +207,9 @@ func run() int {
 		} else {
 			fmt.Print(out)
 		}
-		fmt.Printf("  instrumentation: %d bits of metadata (§5.1)\n", v.MetadataBits)
+		if !v.Certificate {
+			fmt.Printf("  instrumentation: %d bits of metadata (§5.1)\n", v.MetadataBits)
+		}
 	}
 	if *stats {
 		printStats(v.States, v.Elapsed)

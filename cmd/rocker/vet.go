@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+)
+
+// runVet implements "rocker vet file.lit...": parse each file leniently
+// (so out-of-range constants are reported with positions instead of
+// rejected wholesale) and run the internal/analysis lints. Findings print
+// as file:line:col: message, one per line; the exit status is 1 when any
+// file has findings, 2 on I/O or parse errors, 0 when everything is
+// clean.
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("rocker vet", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress the per-file ok lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rocker vet [-q] file.lit...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	status := 0
+	for _, name := range fs.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rocker vet:", err)
+			return 2
+		}
+		p, err := parser.ParseLenient(string(src))
+		if err != nil {
+			// Parser errors already carry line:col.
+			fmt.Printf("%s:%v\n", name, err)
+			status = 2
+			continue
+		}
+		findings := analysis.Vet(p)
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s\n", name, f.Line, f.Col, f.Msg)
+		}
+		if len(findings) > 0 {
+			if status == 0 {
+				status = 1
+			}
+		} else if !*quiet {
+			fmt.Printf("%s: ok\n", name)
+		}
+	}
+	return status
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N] [-timeout d]
+//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N] [-timeout d] [-prune]
 //
 // With -timeout, each sweep point is abandoned (and reported as such)
 // once the per-point deadline expires, so a sweep past the machine's
@@ -33,6 +33,7 @@ func main() {
 	withLamport := flag.Bool("lamport", false, "include the Lamport sweep (minutes at 3 threads)")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-point deadline (0 = none)")
+	prune := flag.Bool("prune", false, "run the static conflict-analysis pre-pass before exploring")
 	flag.Parse()
 
 	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
@@ -61,7 +62,7 @@ func main() {
 		var v *core.Verdict
 		err = measure(func(ctx context.Context) error {
 			var verr error
-			v, verr = core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx})
+			v, verr = core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx, StaticPrune: *prune})
 			return verr
 		})
 		if errors.Is(err, core.ErrCanceled) {

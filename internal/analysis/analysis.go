@@ -1,0 +1,389 @@
+// Package analysis implements a static robustness pre-pass over the
+// program LTS of internal/prog: per-thread access summaries, a
+// cross-thread conflict graph, and a register constant-propagation pass
+// that sharpens the §5.1 critical-value masks.
+//
+// The pay-off is twofold. First, a soundness-preserving reduction of the
+// SCM monitor (internal/scm): the monitor's state decomposes into
+// independent per-location planes, and a robustness violation can only be
+// flagged at a location lying on a cross-thread conflict cycle, so planes
+// of locations outside every such cycle can be forced to zero without
+// changing any verdict — shrinking the explored state space. Second, a
+// static certificate: when the conflict graph has no cycle through two or
+// more conflict edges at all (and nothing else requires exploration), the
+// program is robust with zero states explored.
+//
+// The cycle criterion is phrased over biconnected components. Build the
+// thread multigraph H whose nodes are threads and whose edges are
+//
+//   - conflict edges (t1, t2, x): threads t1 and t2 both access location
+//     x, at least one of them through a write or RMW, and x is not
+//     RMW-pure (one edge per thread pair and location);
+//   - sync edges (t1, t2, f): t1 and t2 both access an RMW-pure location
+//     f (the Ex. 3.6 fence shape — every program-wide access to f is a
+//     FADD, XCHG, or BCAS).
+//
+// A robustness violation needs a happens-before cycle alternating program
+// order and inter-thread communication on at least two distinct
+// conflicting location/thread pairs; in H that is a cycle containing at
+// least two conflict edges, which exists iff some biconnected block of H
+// contains two or more conflict edges. Sync edges carry no stale values
+// themselves — the SCM monitor can never flag an RMW-pure location,
+// because its VR/WR and CVR bits only ever gain at plain writes — but
+// they DO glue cycles together (testdata/regressions/fence-nonmonotone-*
+// is exactly a program where dropping them loses a violation), so they
+// participate in the block structure without counting toward the two.
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+)
+
+// ThreadSummary is the may-access summary of one thread, as location-bit
+// masks restricted to reachable instructions. Array accesses are
+// cell-precise where the constant-propagation pass bounds the index and
+// whole-array otherwise.
+type ThreadSummary struct {
+	MayRead  uint64 // plain reads, waits, and the CAS failure read
+	MayWrite uint64 // plain writes
+	MayRMW   uint64 // FADD, XCHG, CAS, BCAS
+	// Impure marks locations this thread touches through anything other
+	// than FADD/XCHG/BCAS; a location impure in no thread is RMW-pure.
+	Impure uint64
+}
+
+// Accessed is the mask of locations the thread may touch at all.
+func (s *ThreadSummary) Accessed() uint64 { return s.MayRead | s.MayWrite | s.MayRMW }
+
+// writes is the mask of locations the thread may modify.
+func (s *ThreadSummary) writes() uint64 { return s.MayWrite | s.MayRMW }
+
+// Edge is one edge of the cross-thread conflict graph H.
+type Edge struct {
+	T1, T2 int // thread indices, T1 < T2
+	Loc    lang.Loc
+	// Sync marks co-accesses of an RMW-pure location: synchronization
+	// that can glue cycles but never carries a violation itself.
+	Sync bool
+}
+
+// Result is the full output of Analyze.
+type Result struct {
+	Summaries []ThreadSummary
+	RMWPure   uint64 // accessed locations whose every access is FADD/XCHG/BCAS
+	Edges     []Edge // sorted by (T1, T2, Loc)
+	Dangerous []bool // per edge: conflict edge in a block with >= 2 conflict edges
+
+	// Tracked is the union of dangerous-edge locations: the only
+	// locations whose monitor planes can contribute to a verdict.
+	// Everything else (Pruned) may be dropped from instrumentation.
+	Tracked uint64
+	Pruned  uint64
+
+	// Crit is the sharpened critical-value mask per location (always a
+	// subset of prog.CriticalVals, hence sound by Def 5.5's monotonicity);
+	// CritSharpened reports whether any mask is strictly smaller.
+	Crit          []uint64
+	CritSharpened bool
+
+	// Certificate reports that the program is robust by the absence of
+	// any dangerous block, with no exploration needed. Declined holds the
+	// reason when it is false.
+	Certificate bool
+	Declined    string
+
+	hasAssert  bool
+	naConflict bool
+}
+
+// Analyze runs the pre-pass. The program must satisfy lang.Validate.
+func Analyze(p *lang.Program) *Result {
+	vc := p.ValCount
+	r := &Result{Summaries: make([]ThreadSummary, len(p.Threads))}
+	facts := make([][][]uint64, len(p.Threads))
+	for ti := range p.Threads {
+		facts[ti] = constprop(p, ti)
+	}
+
+	// Access summaries over reachable instructions.
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		s := &r.Summaries[ti]
+		for pc := range t.Insts {
+			regs := facts[ti][pc]
+			if regs == nil {
+				continue // unreachable
+			}
+			in := &t.Insts[pc]
+			if !in.IsMem() {
+				if in.Kind == lang.IAssert {
+					r.hasAssert = true
+				}
+				continue
+			}
+			cs := cells(in.Mem, regs, vc)
+			switch in.Kind {
+			case lang.IRead, lang.IWait:
+				s.MayRead |= cs
+				s.Impure |= cs
+			case lang.IWrite:
+				s.MayWrite |= cs
+				s.Impure |= cs
+			case lang.ICAS:
+				// The failure path of CAS is a plain read, so CAS
+				// disqualifies a location from the fence shape.
+				s.MayRMW |= cs
+				s.MayRead |= cs
+				s.Impure |= cs
+			case lang.IFADD, lang.IXCHG, lang.IBCAS:
+				s.MayRMW |= cs
+			}
+		}
+	}
+
+	// RMW-pure locations: accessed somewhere, impure nowhere.
+	var accessed, impure uint64
+	for ti := range r.Summaries {
+		accessed |= r.Summaries[ti].Accessed()
+		impure |= r.Summaries[ti].Impure
+	}
+	r.RMWPure = accessed &^ impure
+
+	// Conflict graph: one edge per (thread pair, location).
+	for t1 := 0; t1 < len(p.Threads); t1++ {
+		for t2 := t1 + 1; t2 < len(p.Threads); t2++ {
+			s1, s2 := &r.Summaries[t1], &r.Summaries[t2]
+			sync := s1.Accessed() & s2.Accessed() & r.RMWPure
+			conflict := (s1.writes()&s2.Accessed() | s2.writes()&s1.Accessed()) &^ r.RMWPure
+			for m := sync | conflict; m != 0; m &= m - 1 {
+				x := lang.Loc(bits.TrailingZeros64(m))
+				r.Edges = append(r.Edges, Edge{T1: t1, T2: t2, Loc: x, Sync: conflict&(1<<x) == 0})
+				if conflict&(1<<x) != 0 && p.Locs[x].NA {
+					r.naConflict = true
+				}
+			}
+		}
+	}
+	sort.Slice(r.Edges, func(i, j int) bool {
+		a, b := r.Edges[i], r.Edges[j]
+		if a.T1 != b.T1 {
+			return a.T1 < b.T1
+		}
+		if a.T2 != b.T2 {
+			return a.T2 < b.T2
+		}
+		return a.Loc < b.Loc
+	})
+
+	r.Dangerous = dangerousEdges(len(p.Threads), r.Edges)
+	for i, e := range r.Edges {
+		if r.Dangerous[i] {
+			r.Tracked |= uint64(1) << e.Loc
+		}
+	}
+	r.Pruned = allOf64(len(p.Locs)) &^ r.Tracked
+
+	// Sharpened critical values (subset of prog.CriticalVals by
+	// construction: reachable-only, cell-precise, value-set comparands).
+	orig := prog.CriticalVals(p)
+	r.Crit = sharpenedCrit(p, facts)
+	for x := range r.Crit {
+		if r.Crit[x]&^orig[x] != 0 {
+			panic("analysis: sharpened crit not a subset of CriticalVals")
+		}
+		if r.Crit[x] != orig[x] {
+			r.CritSharpened = true
+		}
+	}
+
+	switch {
+	case r.Tracked != 0:
+		r.Declined = "conflict graph has a block with >= 2 conflict edges"
+	case r.naConflict:
+		r.Declined = "cross-thread conflict on a non-atomic location (race check needs exploration)"
+	case r.hasAssert:
+		r.Declined = "program has assertions (checked under SC, needs exploration)"
+	default:
+		r.Certificate = true
+	}
+	return r
+}
+
+// sharpenedCrit recomputes the §5.1 critical-value masks using the
+// constant-propagation facts: each reachable wait/CAS/BCAS contributes the
+// abstract value set of its comparand (instead of all values when it is
+// not a literal) to the cells it may resolve to (instead of the whole
+// array).
+func sharpenedCrit(p *lang.Program, facts [][][]uint64) []uint64 {
+	crit := make([]uint64, len(p.Locs))
+	vc := p.ValCount
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		for pc := range t.Insts {
+			regs := facts[ti][pc]
+			if regs == nil {
+				continue
+			}
+			in := &t.Insts[pc]
+			var comparand *lang.Expr
+			switch in.Kind {
+			case lang.IWait:
+				comparand = in.E
+			case lang.ICAS, lang.IBCAS:
+				comparand = in.ER
+			default:
+				continue
+			}
+			vals := evalSet(comparand, regs, vc)
+			for cs := cells(in.Mem, regs, vc); cs != 0; cs &= cs - 1 {
+				crit[bits.TrailingZeros64(cs)] |= vals
+			}
+		}
+	}
+	return crit
+}
+
+// dangerousEdges finds the biconnected blocks of the thread multigraph
+// (Hopcroft–Tarjan with an edge stack; parallel edges are distinct, so a
+// doubled edge already forms a block of size two) and marks the conflict
+// edges of every block containing at least two of them.
+func dangerousEdges(threads int, edges []Edge) []bool {
+	type half struct{ to, edge int }
+	adj := make([][]half, threads)
+	for i, e := range edges {
+		adj[e.T1] = append(adj[e.T1], half{e.T2, i})
+		adj[e.T2] = append(adj[e.T2], half{e.T1, i})
+	}
+	danger := make([]bool, len(edges))
+	disc := make([]int, threads)
+	low := make([]int, threads)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var stack []int // edge indices
+	timer := 0
+	var dfs func(v, parentEdge int)
+	dfs = func(v, parentEdge int) {
+		disc[v], low[v] = timer, timer
+		timer++
+		for _, h := range adj[v] {
+			switch {
+			case h.edge == parentEdge:
+				// The single tree edge back to the parent; a parallel
+				// edge to the same parent has a different index and is
+				// treated as the back edge it is.
+			case disc[h.to] == -1:
+				stack = append(stack, h.edge)
+				dfs(h.to, h.edge)
+				if low[h.to] < low[v] {
+					low[v] = low[h.to]
+				}
+				if low[h.to] >= disc[v] {
+					// v is an articulation point (or the root): the
+					// edges above h.edge on the stack form one block.
+					conflicts := 0
+					top := len(stack)
+					for {
+						top--
+						if !edges[stack[top]].Sync {
+							conflicts++
+						}
+						if stack[top] == h.edge {
+							break
+						}
+					}
+					if conflicts >= 2 {
+						for _, ei := range stack[top:] {
+							if !edges[ei].Sync {
+								danger[ei] = true
+							}
+						}
+					}
+					stack = stack[:top]
+				}
+			case disc[h.to] < disc[v]:
+				// Back edge to an ancestor (or a parallel edge to the
+				// parent): part of the current block.
+				stack = append(stack, h.edge)
+				if disc[h.to] < low[v] {
+					low[v] = disc[h.to]
+				}
+			}
+		}
+	}
+	for v := 0; v < threads; v++ {
+		if disc[v] == -1 {
+			dfs(v, -1)
+		}
+	}
+	return danger
+}
+
+// allOf64 is allOf without the value-domain cap (location masks go up to
+// 64 bits).
+func allOf64(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// Describe renders the analysis for rocker -explain: summaries, the
+// conflict graph, what was pruned, and the certificate or the reason the
+// fast path declined.
+func (r *Result) Describe(p *lang.Program) string {
+	var b strings.Builder
+	locs := func(mask uint64) string {
+		if mask == 0 {
+			return "-"
+		}
+		var names []string
+		for m := mask; m != 0; m &= m - 1 {
+			names = append(names, p.Locs[bits.TrailingZeros64(m)].Name)
+		}
+		return strings.Join(names, ",")
+	}
+	b.WriteString("access summaries (reachable code only):\n")
+	for ti := range r.Summaries {
+		s := &r.Summaries[ti]
+		fmt.Fprintf(&b, "  %-8s read=%s write=%s rmw=%s\n",
+			p.Threads[ti].Name, locs(s.MayRead), locs(s.MayWrite), locs(s.MayRMW))
+	}
+	if r.RMWPure != 0 {
+		fmt.Fprintf(&b, "rmw-pure (fence-shaped) locations: %s\n", locs(r.RMWPure))
+	}
+	b.WriteString("conflict graph:\n")
+	if len(r.Edges) == 0 {
+		b.WriteString("  (no cross-thread edges)\n")
+	}
+	for i, e := range r.Edges {
+		kind := "conflict"
+		if e.Sync {
+			kind = "sync"
+		}
+		mark := ""
+		if r.Dangerous[i] {
+			mark = "  [dangerous]"
+		}
+		fmt.Fprintf(&b, "  %s -- %s on %s (%s)%s\n",
+			p.Threads[e.T1].Name, p.Threads[e.T2].Name, p.Locs[e.Loc].Name, kind, mark)
+	}
+	fmt.Fprintf(&b, "tracked locations: %s\n", locs(r.Tracked))
+	fmt.Fprintf(&b, "pruned locations:  %s (%d of %d)\n",
+		locs(r.Pruned), bits.OnesCount64(r.Pruned), len(p.Locs))
+	if r.CritSharpened {
+		b.WriteString("critical-value masks sharpened by constant propagation\n")
+	}
+	if r.Certificate {
+		b.WriteString("certificate: no conflict-graph block with >= 2 conflict edges; robust without exploration\n")
+	} else {
+		fmt.Fprintf(&b, "no static certificate: %s\n", r.Declined)
+	}
+	return b.String()
+}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+	"repro/internal/prog"
+)
+
+func analyzeNamed(t *testing.T, name string) (*lang.Program, *Result) {
+	t.Helper()
+	e, err := litmus.Get(name)
+	if err != nil {
+		t.Fatalf("corpus entry %s: %v", name, err)
+	}
+	p := parser.MustParse(e.Source)
+	return p, Analyze(p)
+}
+
+type edge struct {
+	t1, t2 int
+	loc    string
+	sync   bool
+}
+
+func edgeSet(p *lang.Program, r *Result) []edge {
+	var out []edge
+	for _, e := range r.Edges {
+		out = append(out, edge{e.T1, e.T2, p.Locs[e.Loc].Name, e.Sync})
+	}
+	return out
+}
+
+func wantEdges(t *testing.T, p *lang.Program, r *Result, want []edge) {
+	t.Helper()
+	got := edgeSet(p, r)
+	if len(got) != len(want) {
+		t.Fatalf("edge set %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge set %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConflictGraphLitmus pins the exact conflict-graph edge sets of the
+// four classic litmus shapes.
+func TestConflictGraphLitmus(t *testing.T) {
+	t.Run("SB", func(t *testing.T) {
+		p, r := analyzeNamed(t, "SB")
+		// Both threads write one location and read the other: two
+		// conflict edges between the same pair — a dangerous block.
+		wantEdges(t, p, r, []edge{{0, 1, "x", false}, {0, 1, "y", false}})
+		if !r.Dangerous[0] || !r.Dangerous[1] {
+			t.Errorf("SB edges should both be dangerous: %v", r.Dangerous)
+		}
+		if r.Certificate {
+			t.Error("SB must not get a certificate")
+		}
+	})
+	t.Run("MP", func(t *testing.T) {
+		p, r := analyzeNamed(t, "MP")
+		// Same doubled-edge shape as SB; MP is robust but only
+		// exploration can tell, so the pre-pass must keep going.
+		wantEdges(t, p, r, []edge{{0, 1, "x", false}, {0, 1, "y", false}})
+		if r.Certificate {
+			t.Error("MP must not get a certificate (conflict cycle exists)")
+		}
+	})
+	t.Run("LB", func(t *testing.T) {
+		p, r := analyzeNamed(t, "LB")
+		wantEdges(t, p, r, []edge{{0, 1, "x", false}, {0, 1, "y", false}})
+		if r.Certificate {
+			t.Error("LB must not get a certificate (doubled conflict edge)")
+		}
+	})
+	t.Run("CoRR", func(t *testing.T) {
+		p, r := analyzeNamed(t, "CoRR")
+		// One writer, one reader, one location: a single conflict edge
+		// cannot form a cycle, so CoRR is discharged statically.
+		wantEdges(t, p, r, []edge{{0, 1, "x", false}})
+		if r.Dangerous[0] {
+			t.Error("a single conflict edge is never dangerous")
+		}
+		if !r.Certificate {
+			t.Errorf("CoRR should be certified robust; declined: %s", r.Declined)
+		}
+		if r.Tracked != 0 {
+			t.Errorf("CoRR should track nothing, got %b", r.Tracked)
+		}
+	})
+}
+
+// TestFenceSyncEdges checks the Ex. 3.6 treatment: the shared fence
+// location yields a sync edge, which never certifies-away a genuine
+// cycle (the fence-nonmonotone regression shape) but does not count as a
+// conflict either (disjoint-fence is certified).
+func TestFenceSyncEdges(t *testing.T) {
+	p, r := analyzeNamed(t, "disjoint-fence")
+	wantEdges(t, p, r, []edge{{0, 1, parser.FenceLoc, true}})
+	if !r.Certificate {
+		t.Errorf("disjoint-fence should be certified; declined: %s", r.Declined)
+	}
+	if r.RMWPure != uint64(1)<<uint(len(p.Locs)-1) {
+		t.Errorf("fence location should be the only RMW-pure one, got %b", r.RMWPure)
+	}
+
+	// dekker-tso: fences glue the block together (sync edge in the same
+	// biconnected block as the conflict edges) but only x/y conflict
+	// edges are dangerous; the fence location itself is pruned.
+	e, err := litmus.Get("dekker-tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := parser.MustParse(e.Source)
+	r2 := Analyze(p2)
+	fl, ok := p2.LocByName(parser.FenceLoc)
+	if !ok {
+		t.Fatal("dekker-tso has no fence location")
+	}
+	if r2.Tracked&(uint64(1)<<fl) != 0 {
+		t.Error("fence location must not be tracked")
+	}
+	if r2.Pruned&(uint64(1)<<fl) == 0 {
+		t.Error("fence location should be pruned")
+	}
+	if r2.Certificate {
+		t.Error("dekker-tso has real conflict cycles")
+	}
+}
+
+// TestConstpropSharpening checks that a register provably holding one
+// constant shrinks the wait comparand's critical set to a single bit,
+// and that constant array indices give cell-precise summaries.
+func TestConstpropSharpening(t *testing.T) {
+	p := parser.MustParse(`
+program sharpen
+vals 8
+locs x y
+thread t1
+  r := 3
+  wait(x = r)
+  y := 1
+end
+thread t2
+  x := 3
+  a := y
+end
+`)
+	r := Analyze(p)
+	x, _ := p.LocByName("x")
+	if r.Crit[x] != 1<<3 {
+		t.Errorf("crit(x) = %b, want just bit 3", r.Crit[x])
+	}
+	if !r.CritSharpened {
+		t.Error("expected CritSharpened")
+	}
+	orig := prog.CriticalVals(p)
+	if orig[x] == r.Crit[x] {
+		t.Error("baseline CriticalVals should be all-values for a register comparand")
+	}
+
+	// Constant index: only cell a[1] is critical / summarized.
+	p2 := parser.MustParse(`
+program cells
+vals 4
+array a 3
+locs y
+thread t1
+  i := 1
+  wait(a[i] = 2)
+end
+thread t2
+  j := 1
+  a[j] := 2
+  y := 1
+end
+`)
+	r2 := Analyze(p2)
+	base, _ := p2.LocByName("a[0]")
+	if got := r2.Summaries[0].MayRead; got != uint64(1)<<(int(base)+1) {
+		t.Errorf("t1 may-read = %b, want only a[1]", got)
+	}
+	if got := r2.Summaries[1].MayWrite; got&(uint64(1)<<base) != 0 || got&(uint64(1)<<(int(base)+2)) != 0 {
+		t.Errorf("t2 may-write = %b, should not include a[0] or a[2]", got)
+	}
+	if r2.Crit[int(base)+1] != 1<<2 {
+		t.Errorf("crit(a[1]) = %b, want bit 2", r2.Crit[int(base)+1])
+	}
+	if r2.Crit[base] != 0 || r2.Crit[int(base)+2] != 0 {
+		t.Errorf("crit(a[0])=%b crit(a[2])=%b, want 0", r2.Crit[base], r2.Crit[int(base)+2])
+	}
+}
+
+// TestReachabilityRestriction: accesses in unreachable code contribute
+// nothing to summaries or the conflict graph.
+func TestReachabilityRestriction(t *testing.T) {
+	p := parser.MustParse(`
+program unreach
+vals 2
+locs x y
+thread t1
+  goto skip
+  x := 1
+skip:
+  y := 1
+end
+thread t2
+  a := x
+  b := y
+end
+`)
+	r := Analyze(p)
+	x, _ := p.LocByName("x")
+	if r.Summaries[0].MayWrite&(uint64(1)<<x) != 0 {
+		t.Error("unreachable write to x must not appear in the summary")
+	}
+	wantEdges(t, p, r, []edge{{0, 1, "y", false}})
+	if !r.Certificate {
+		t.Errorf("one conflict edge should certify; declined: %s", r.Declined)
+	}
+}
+
+// TestCertificateGates: assertions and cross-thread NA conflicts decline
+// the fast path even when the conflict graph is harmless.
+func TestCertificateGates(t *testing.T) {
+	withAssert := parser.MustParse(`
+program with-assert
+vals 2
+locs x
+thread t1
+  x := 1
+end
+thread t2
+  a := x
+  assert a = a
+end
+`)
+	r := Analyze(withAssert)
+	if r.Certificate {
+		t.Error("assertions must decline the certificate")
+	}
+
+	withNA := parser.MustParse(`
+program with-na
+vals 2
+na x
+thread t1
+  x := 1
+end
+thread t2
+  a := x
+end
+`)
+	r2 := Analyze(withNA)
+	if r2.Certificate {
+		t.Error("a cross-thread NA conflict must decline the certificate")
+	}
+}
+
+// TestDangerousBlocksBridge: two conflict edges joined only by a bridge
+// (through a middle thread) are in different blocks — no cycle, certified.
+func TestDangerousBlocksBridge(t *testing.T) {
+	p := parser.MustParse(`
+program bridge
+vals 2
+locs x y
+thread t1
+  x := 1
+end
+thread t2
+  a := x
+  y := 1
+end
+thread t3
+  b := y
+end
+`)
+	r := Analyze(p)
+	wantEdges(t, p, r, []edge{{0, 1, "x", false}, {1, 2, "y", false}})
+	if r.Dangerous[0] || r.Dangerous[1] {
+		t.Errorf("bridge edges are not dangerous: %v", r.Dangerous)
+	}
+	if !r.Certificate {
+		t.Errorf("bridge program should be certified; declined: %s", r.Declined)
+	}
+
+	// Close the cycle t1-t2-t3-t1: now one block with three conflict
+	// edges, everything tracked.
+	p2 := parser.MustParse(`
+program triangle
+vals 2
+locs x y z
+thread t1
+  x := 1
+  c := z
+end
+thread t2
+  a := x
+  y := 1
+end
+thread t3
+  b := y
+  z := 1
+end
+`)
+	r2 := Analyze(p2)
+	if len(r2.Edges) != 3 {
+		t.Fatalf("triangle should have 3 edges, got %v", edgeSet(p2, r2))
+	}
+	for i := range r2.Edges {
+		if !r2.Dangerous[i] {
+			t.Errorf("triangle edge %d should be dangerous", i)
+		}
+	}
+	if bits.OnesCount64(r2.Tracked) != 3 {
+		t.Errorf("triangle should track all three locations, got %b", r2.Tracked)
+	}
+}

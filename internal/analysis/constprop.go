@@ -1,0 +1,205 @@
+package analysis
+
+import "repro/internal/lang"
+
+// This file implements the register constant-propagation / value-set pass.
+//
+// For each thread the pass computes, per program counter, a bitmask
+// over-approximating the set of values each register may hold when control
+// reaches that pc (bit v set = register may hold value v). The lattice is
+// the powerset of the value domain [0, ValCount); join is set union; the
+// transfer functions mirror lang.Expr.Eval exactly, so the abstraction is
+// sound by construction: every concrete register valuation reachable at pc
+// is contained in the abstract one. Memory reads and RMW result registers
+// go to top (any value), which keeps the pass intraprocedural and
+// independent of the memory model — under ANY semantics a load yields some
+// value in the domain.
+//
+// The same fixpoint yields a sound reachability predicate: a pc with no
+// abstract state is unreachable under every memory model, because branch
+// feasibility is judged on the over-approximate condition sets (a branch
+// is only pruned when no value in the condition's abstract set could take
+// it, which no concrete run can contradict).
+
+// allOf returns the mask of the full value domain [0, vc).
+func allOf(vc int) uint64 {
+	if vc >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << vc) - 1
+}
+
+// evalSet abstractly evaluates e: the result is the exact image of the
+// register sets under Eval (pairwise enumeration for binary operators, so
+// no precision is lost inside the expression beyond the register sets
+// themselves).
+func evalSet(e *lang.Expr, regs []uint64, vc int) uint64 {
+	switch e.Kind {
+	case lang.EConst:
+		return uint64(1) << (int(e.Const) % vc)
+	case lang.EReg:
+		return regs[e.Reg]
+	case lang.ENot:
+		s := evalSet(e.L, regs, vc)
+		var out uint64
+		if s&1 != 0 {
+			out |= 2 // operand may be 0 -> result may be 1
+		}
+		if s&^uint64(1) != 0 {
+			out |= 1 // operand may be nonzero -> result may be 0
+		}
+		return out
+	}
+	ls, rs := evalSet(e.L, regs, vc), evalSet(e.R, regs, vc)
+	var out uint64
+	for a := 0; a < vc; a++ {
+		if ls&(uint64(1)<<a) == 0 {
+			continue
+		}
+		for b := 0; b < vc; b++ {
+			if rs&(uint64(1)<<b) == 0 {
+				continue
+			}
+			out |= uint64(1) << evalBin(e.Op, lang.Val(a), lang.Val(b), vc)
+		}
+	}
+	return out
+}
+
+// evalBin mirrors the binary-operator arm of lang.Expr.Eval.
+func evalBin(op lang.BinOp, a, b lang.Val, vc int) lang.Val {
+	switch op {
+	case lang.OpAdd:
+		return lang.Val((int(a) + int(b)) % vc)
+	case lang.OpSub:
+		return lang.Val(((int(a)-int(b))%vc + vc) % vc)
+	case lang.OpMul:
+		return lang.Val((int(a) * int(b)) % vc)
+	case lang.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return lang.Val(int(a) % int(b))
+	case lang.OpEq:
+		return b2v(a == b)
+	case lang.OpNe:
+		return b2v(a != b)
+	case lang.OpLt:
+		return b2v(a < b)
+	case lang.OpLe:
+		return b2v(a <= b)
+	case lang.OpGt:
+		return b2v(a > b)
+	case lang.OpGe:
+		return b2v(a >= b)
+	case lang.OpAnd:
+		return b2v(a != 0 && b != 0)
+	case lang.OpOr:
+		return b2v(a != 0 || b != 0)
+	}
+	panic("analysis: unknown operator")
+}
+
+func b2v(b bool) lang.Val {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// constprop runs the fixpoint for one thread and returns the per-pc
+// abstract register states. The slice has len(Insts)+1 entries (the last
+// is the terminal pc); a nil entry means the pc is unreachable.
+func constprop(p *lang.Program, ti int) [][]uint64 {
+	t := &p.Threads[ti]
+	n := len(t.Insts)
+	vc := p.ValCount
+	in := make([][]uint64, n+1)
+	init := make([]uint64, t.NumRegs)
+	for r := range init {
+		init[r] = 1 // registers start holding 0
+	}
+	in[0] = init
+
+	// join merges src into *dst, reporting whether *dst changed.
+	join := func(dst *[]uint64, src []uint64) bool {
+		if *dst == nil {
+			cp := make([]uint64, len(src))
+			copy(cp, src)
+			*dst = cp
+			return true
+		}
+		changed := false
+		for i, s := range src {
+			if (*dst)[i]|s != (*dst)[i] {
+				(*dst)[i] |= s
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	work := []int{0}
+	queued := make([]bool, n+1)
+	queued[0] = true
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		if pc == n {
+			continue
+		}
+		regs := in[pc]
+		inst := &t.Insts[pc]
+		out := regs
+		switch inst.Kind {
+		case lang.IAssign:
+			out = setReg(regs, inst.Reg, evalSet(inst.E, regs, vc))
+		case lang.IRead, lang.IFADD, lang.IXCHG, lang.ICAS:
+			out = setReg(regs, inst.Reg, allOf(vc))
+		}
+		push := func(succ int) {
+			if join(&in[succ], out) && !queued[succ] {
+				work = append(work, succ)
+				queued[succ] = true
+			}
+		}
+		if inst.Kind == lang.IGoto {
+			cond := evalSet(inst.E, regs, vc)
+			if cond&1 != 0 {
+				push(pc + 1) // condition may be 0: fall through
+			}
+			if cond&^uint64(1) != 0 {
+				push(inst.Target) // condition may be nonzero: jump
+			}
+		} else {
+			push(pc + 1)
+		}
+	}
+	return in
+}
+
+// setReg returns a copy of regs with register r set to s.
+func setReg(regs []uint64, r lang.Reg, s uint64) []uint64 {
+	out := make([]uint64, len(regs))
+	copy(out, regs)
+	out[r] = s
+	return out
+}
+
+// cells returns the location-bit mask of the cells the memory reference
+// may resolve to under the abstract register state, mirroring
+// lang.MemRef.Resolve (array indices wrap modulo the declared size).
+func cells(m lang.MemRef, regs []uint64, vc int) uint64 {
+	if m.Index == nil {
+		return uint64(1) << m.Base
+	}
+	s := evalSet(m.Index, regs, vc)
+	var out uint64
+	for v := 0; v < vc; v++ {
+		if s&(uint64(1)<<v) != 0 {
+			out |= uint64(1) << (int(m.Base) + v%m.Size)
+		}
+	}
+	return out
+}

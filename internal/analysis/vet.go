@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// VetFinding is one lint diagnostic with a source position (positions come
+// from the parser; programs built programmatically report 0:0).
+type VetFinding struct {
+	Line, Col int
+	Msg       string
+}
+
+func (f VetFinding) String() string { return fmt.Sprintf("line %d:%d: %s", f.Line, f.Col, f.Msg) }
+
+// Vet lints a parsed program. It accepts programs from parser.ParseLenient
+// that lang.Validate would reject (that is the point of the value-bound
+// check), but relies on the structural invariants the parser itself
+// guarantees: in-range registers, locations, and goto targets.
+//
+// Checks:
+//   - unreachable code (reported once per maximal unreachable run);
+//   - registers read before any write — initial-zero reads are legal but
+//     almost always a typo;
+//   - constants at or above the declared value bound, which the semantics
+//     silently truncates modulo the bound;
+//   - locations that are read somewhere but written nowhere, so every
+//     read yields the initial zero.
+func Vet(p *lang.Program) []VetFinding {
+	var out []VetFinding
+	vc := p.ValCount
+
+	// Per-thread passes.
+	readsNeverWritten := map[lang.Loc]*lang.Inst{} // first reading inst per loc
+	var writtenAnywhere uint64
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		facts := constprop(p, ti)
+
+		// Unreachable code.
+		for pc := 0; pc < len(t.Insts); pc++ {
+			if facts[pc] != nil {
+				continue
+			}
+			in := &t.Insts[pc]
+			run := 0
+			for pc < len(t.Insts) && facts[pc] == nil {
+				pc++
+				run++
+			}
+			out = append(out, VetFinding{in.Line, in.Col,
+				fmt.Sprintf("unreachable code in thread %s (%d instruction(s))", t.Name, run)})
+		}
+
+		// Read-before-write: forward may-analysis of unwritten registers.
+		// Bit r set at pc = register r may still be unwritten there.
+		unwritten := make([]uint64, len(t.Insts)+1)
+		init := uint64(0)
+		if t.NumRegs > 0 {
+			init = allOf64(t.NumRegs)
+		}
+		seen := make([]bool, len(t.Insts)+1)
+		unwritten[0], seen[0] = init, true
+		work := []int{0}
+		for len(work) > 0 {
+			pc := work[len(work)-1]
+			work = work[:len(work)-1]
+			if pc == len(t.Insts) {
+				continue
+			}
+			in := &t.Insts[pc]
+			mask := unwritten[pc]
+			if r, ok := destReg(in); ok {
+				mask &^= uint64(1) << r
+			}
+			push := func(succ int) {
+				if !seen[succ] || unwritten[succ]|mask != unwritten[succ] {
+					unwritten[succ] |= mask
+					seen[succ] = true
+					work = append(work, succ)
+				}
+			}
+			if in.Kind == lang.IGoto {
+				push(pc + 1)
+				push(in.Target)
+			} else {
+				push(pc + 1)
+			}
+		}
+		for pc := range t.Insts {
+			if !seen[pc] {
+				continue // unreachable, already reported
+			}
+			in := &t.Insts[pc]
+			for m := instReads(in) & unwritten[pc]; m != 0; m &= m - 1 {
+				r := bits.TrailingZeros64(m)
+				out = append(out, VetFinding{in.Line, in.Col,
+					fmt.Sprintf("register %s read before any write in thread %s (reads the initial 0)",
+						regName(t, lang.Reg(r)), t.Name)})
+			}
+		}
+
+		// Out-of-range constants; accumulate read/write location sets.
+		for pc := range t.Insts {
+			in := &t.Insts[pc]
+			for _, e := range []*lang.Expr{in.E, in.ER, in.EW, in.Mem.Index} {
+				if c, ok := oversizeConst(e, vc); ok {
+					out = append(out, VetFinding{in.Line, in.Col,
+						fmt.Sprintf("constant %d is outside the value domain [0,%d) and truncates to %d", c, vc, int(c)%vc)})
+				}
+			}
+			if !in.IsMem() {
+				continue
+			}
+			var cellMask uint64
+			if in.Mem.Index == nil {
+				cellMask = uint64(1) << in.Mem.Base
+			} else {
+				cellMask = (allOf64(in.Mem.Size)) << in.Mem.Base
+			}
+			switch in.Kind {
+			case lang.IRead, lang.IWait:
+				for m := cellMask; m != 0; m &= m - 1 {
+					x := lang.Loc(bits.TrailingZeros64(m))
+					if _, ok := readsNeverWritten[x]; !ok {
+						readsNeverWritten[x] = in
+					}
+				}
+			default: // IWrite and all RMWs store
+				writtenAnywhere |= cellMask
+			}
+		}
+	}
+
+	for x, in := range readsNeverWritten {
+		if writtenAnywhere&(uint64(1)<<x) != 0 {
+			continue
+		}
+		out = append(out, VetFinding{in.Line, in.Col,
+			fmt.Sprintf("location %s is read but never written (every read yields the initial 0)", p.Locs[x].Name)})
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// destReg returns the register an instruction writes, if any.
+func destReg(in *lang.Inst) (lang.Reg, bool) {
+	switch in.Kind {
+	case lang.IAssign, lang.IRead, lang.IFADD, lang.IXCHG, lang.ICAS:
+		return in.Reg, true
+	}
+	return 0, false
+}
+
+// instReads is the mask of registers an instruction's expressions read.
+func instReads(in *lang.Inst) uint64 {
+	return exprRegs(in.E) | exprRegs(in.ER) | exprRegs(in.EW) | exprRegs(in.Mem.Index)
+}
+
+func exprRegs(e *lang.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	if e.Kind == lang.EReg {
+		return uint64(1) << e.Reg
+	}
+	return exprRegs(e.L) | exprRegs(e.R)
+}
+
+// oversizeConst reports the first literal in e at or above the value bound.
+func oversizeConst(e *lang.Expr, vc int) (lang.Val, bool) {
+	if e == nil {
+		return 0, false
+	}
+	if e.Kind == lang.EConst && int(e.Const) >= vc {
+		return e.Const, true
+	}
+	if c, ok := oversizeConst(e.L, vc); ok {
+		return c, true
+	}
+	return oversizeConst(e.R, vc)
+}
+
+// regName returns the source name of a register when the parser recorded
+// one.
+func regName(t *lang.SeqProg, r lang.Reg) string {
+	if int(r) < len(t.RegNames) && t.RegNames[r] != "" {
+		return t.RegNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func vetSource(t *testing.T, src string) []VetFinding {
+	t.Helper()
+	p, err := parser.ParseLenient(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Vet(p)
+}
+
+func findingWith(fs []VetFinding, substr string) *VetFinding {
+	for i := range fs {
+		if strings.Contains(fs[i].Msg, substr) {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestVetUnreachable(t *testing.T) {
+	fs := vetSource(t, `
+vals 2
+locs x
+thread t1
+  goto done
+  x := 1
+  x := 0
+done:
+  x := 1
+end
+`)
+	f := findingWith(fs, "unreachable")
+	if f == nil {
+		t.Fatalf("no unreachable finding in %v", fs)
+	}
+	if f.Line != 6 {
+		t.Errorf("unreachable reported at line %d, want 6 (first dead instruction)", f.Line)
+	}
+	if !strings.Contains(f.Msg, "2 instruction(s)") {
+		t.Errorf("finding should cover the whole dead run: %s", f.Msg)
+	}
+}
+
+// TestVetUnreachableByConstprop: reachability is judged on propagated
+// constants, not just graph shape — a branch whose condition is provably
+// nonzero makes the fall-through dead.
+func TestVetUnreachableByConstprop(t *testing.T) {
+	fs := vetSource(t, `
+vals 4
+locs x
+thread t1
+  r := 1
+  if r = 1 goto done
+  x := 1
+done:
+  x := 2
+end
+`)
+	if findingWith(fs, "unreachable") == nil {
+		t.Fatalf("constprop should prove the fall-through dead; findings: %v", fs)
+	}
+}
+
+func TestVetReadBeforeWrite(t *testing.T) {
+	fs := vetSource(t, `
+vals 2
+locs x
+thread t1
+  x := r
+  r := 1
+end
+`)
+	f := findingWith(fs, "read before any write")
+	if f == nil {
+		t.Fatalf("no read-before-write finding in %v", fs)
+	}
+	if !strings.Contains(f.Msg, "register r ") {
+		t.Errorf("finding should name the register: %s", f.Msg)
+	}
+
+	// Writing on every path first is clean.
+	if fs := vetSource(t, `
+vals 2
+locs x
+thread t1
+  r := 1
+  x := r
+end
+`); len(fs) != 0 {
+		t.Errorf("clean program flagged: %v", fs)
+	}
+}
+
+func TestVetOversizeConstant(t *testing.T) {
+	fs := vetSource(t, `
+vals 4
+locs x
+thread t1
+  x := 7
+  a := x
+end
+`)
+	f := findingWith(fs, "outside the value domain")
+	if f == nil {
+		t.Fatalf("no value-bound finding in %v", fs)
+	}
+	if !strings.Contains(f.Msg, "truncates to 3") {
+		t.Errorf("finding should show the truncated value: %s", f.Msg)
+	}
+}
+
+func TestVetReadNeverWritten(t *testing.T) {
+	fs := vetSource(t, `
+vals 2
+locs x y
+thread t1
+  a := x
+  y := 1
+end
+thread t2
+  b := y
+end
+`)
+	f := findingWith(fs, "never written")
+	if f == nil {
+		t.Fatalf("no read-never-written finding in %v", fs)
+	}
+	if !strings.Contains(f.Msg, "location x") {
+		t.Errorf("finding should name the location: %s", f.Msg)
+	}
+	// y is written by t1, so only x is flagged.
+	if strings.Contains(f.Msg, " y ") {
+		t.Errorf("y is written, must not be flagged: %s", f.Msg)
+	}
+}
+
+// TestVetCorpusClean keeps the embedded corpus lint-clean: every litmus
+// entry must vet without findings. (The committed fuzzer regressions
+// under testdata/regressions are exempt — they are minimized repros whose
+// read-before-write shape is part of the bug they pin.)
+func TestVetCorpusClean(t *testing.T) {
+	for _, e := range litmus.All() {
+		p, err := parser.ParseLenient(e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if fs := Vet(p); len(fs) != 0 {
+			t.Errorf("%s: vet findings: %v", e.Name, fs)
+		}
+	}
+}

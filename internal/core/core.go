@@ -25,10 +25,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/prog"
@@ -91,6 +93,14 @@ type Options struct {
 	// ProgressEvery is the number of expanded states between Progress
 	// calls; 0 means 4096.
 	ProgressEvery int
+	// StaticPrune runs the internal/analysis pre-pass before exploring:
+	// locations outside every cross-thread conflict cycle are dropped
+	// from the SCM instrumentation (shrinking the state space without
+	// changing any verdict), critical-value masks are sharpened by
+	// constant propagation when AbstractVals is on, and programs whose
+	// conflict graph has no dangerous cycle at all are discharged
+	// immediately with Verdict.Certificate set and zero states explored.
+	StaticPrune bool
 }
 
 // Progress is a live snapshot of a running exploration, delivered to
@@ -152,6 +162,20 @@ type Verdict struct {
 	Elapsed time.Duration
 	// MetadataBits is the size of the SCM instrumentation per §5.1.
 	MetadataBits int
+	// Certificate reports that the Robust verdict was discharged by the
+	// static pre-pass (Options.StaticPrune) without exploring any state:
+	// the conflict graph has no cycle through two or more conflict
+	// edges, so no SC run can witness a Theorem 5.3 violation.
+	Certificate bool
+	// PrunedLocs is the number of locations the pre-pass dropped from
+	// the SCM instrumentation (0 when StaticPrune is off).
+	PrunedLocs int
+	// CritSharpened reports that constant propagation strictly shrank at
+	// least one critical-value mask.
+	CritSharpened bool
+	// Analysis holds the full pre-pass result when StaticPrune is on,
+	// for -explain style reporting.
+	Analysis *analysis.Result
 }
 
 // ErrStateBound is returned when MaxStates is exceeded.
@@ -165,6 +189,7 @@ type verifier struct {
 	p     *prog.P
 	mon   *scm.Monitor
 	hasNA bool
+	an    *analysis.Result // pre-pass result, nil unless Options.StaticPrune
 }
 
 func newVerifier(program *lang.Program, opts Options) (*verifier, error) {
@@ -172,11 +197,30 @@ func newVerifier(program *lang.Program, opts Options) (*verifier, error) {
 		return nil, err
 	}
 	p := prog.New(program)
+	var an *analysis.Result
+	if opts.StaticPrune {
+		an = analysis.Analyze(program)
+	}
 	var crit []uint64
-	if opts.AbstractVals {
+	switch {
+	case opts.AbstractVals && an != nil:
+		// The sharpened masks are a subset of prog.CriticalVals, which
+		// Def 5.5 allows: any superset of the actually-compared values
+		// is a sound critical set.
+		crit = append([]uint64(nil), an.Crit...)
+	case opts.AbstractVals:
 		crit = prog.CriticalVals(program)
-	} else {
+	default:
 		crit = prog.FullCriticalVals(program)
+	}
+	if an != nil {
+		// Untracked planes are identically zero (scm.Monitor.Tracked),
+		// so their critical sets only waste encoding width.
+		for x := range crit {
+			if an.Tracked&(uint64(1)<<x) == 0 {
+				crit[x] = 0
+			}
+		}
 	}
 	na := make([]bool, len(program.Locs))
 	hasNA := false
@@ -186,7 +230,20 @@ func newVerifier(program *lang.Program, opts Options) (*verifier, error) {
 	}
 	mon := scm.NewMonitor(program.NumThreads(), program.NumLocs(), program.ValCount, crit, na)
 	mon.SRA = opts.Model == ModelSRA
-	return &verifier{p: p, mon: mon, hasNA: hasNA}, nil
+	if an != nil {
+		mon.Tracked = an.Tracked
+	}
+	return &verifier{p: p, mon: mon, hasNA: hasNA, an: an}, nil
+}
+
+// annotate copies the pre-pass summary fields into a verdict.
+func (v *verifier) annotate(verdict *Verdict) {
+	if v.an == nil {
+		return
+	}
+	verdict.Analysis = v.an
+	verdict.PrunedLocs = bits.OnesCount64(v.an.Pruned)
+	verdict.CritSharpened = v.an.CritSharpened
 }
 
 // scratch is the per-worker decode/expansion state: a reusable current
@@ -251,6 +308,27 @@ func (s *scratch) encode(v *verifier, ps prog.State, ms *scm.State) []byte {
 
 // Verify decides execution-graph robustness of the program against RA.
 func Verify(program *lang.Program, opts Options) (*Verdict, error) {
+	if opts.StaticPrune {
+		// Certificate fast path: if the conflict graph has no block with
+		// two or more conflict edges (and neither assertions nor
+		// non-atomic conflicts require exploration), the program is
+		// robust — against RA and a fortiori against SRA, whose
+		// Theorem 5.3 conditions are a subset — with zero states.
+		start := time.Now()
+		if err := program.Validate(); err != nil {
+			return nil, err
+		}
+		if an := analysis.Analyze(program); an.Certificate {
+			return &Verdict{
+				Robust:        true,
+				Certificate:   true,
+				Analysis:      an,
+				PrunedLocs:    bits.OnesCount64(an.Pruned),
+				CritSharpened: an.CritSharpened,
+				Elapsed:       time.Since(start),
+			}, nil
+		}
+	}
 	if opts.workerCount() > 1 {
 		return verifyParallel(program, opts)
 	}
@@ -260,6 +338,7 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		return nil, err
 	}
 	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
+	v.annotate(verdict)
 	finish := func() (*Verdict, error) {
 		// A canceled run never reports a verdict, even if exploration
 		// happened to finish before the poll noticed: the caller asked for
@@ -419,6 +498,14 @@ func FormatTrace(program *lang.Program, trace []explore.Step) string {
 // Explain renders a human-readable description of a verdict.
 func Explain(program *lang.Program, v *Verdict) string {
 	var b strings.Builder
+	if v.Analysis != nil {
+		b.WriteString(v.Analysis.Describe(program))
+	}
+	if v.Certificate {
+		fmt.Fprintf(&b, "%s: ROBUST against RA by static certificate (0 states explored, %v)\n",
+			program.Name, v.Elapsed)
+		return b.String()
+	}
 	if v.Robust {
 		fmt.Fprintf(&b, "%s: ROBUST against RA (%d states, %v)\n", program.Name, v.States, v.Elapsed)
 		return b.String()

@@ -47,6 +47,7 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 		return nil, err
 	}
 	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
+	v.annotate(verdict)
 	finish := func() (*Verdict, error) {
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil

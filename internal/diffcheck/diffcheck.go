@@ -294,6 +294,33 @@ func runBattery(r *Report, p *lang.Program, src string, cfg Config) {
 		r.addf("abstract-vs-full", src, "abstract-values robust=%v, full-values robust=%v (§5.1 abstraction must preserve the verdict)", seq.Robust, full.Robust)
 	}
 
+	// Static-pruning parity: the conflict pre-pass must never change a
+	// verdict (a certificate on a non-robust program is a soundness bug
+	// caught here as a verdict mismatch). On robust runs — the only ones
+	// that explore the full space — the pruned state count can only
+	// shrink, and must be bit-identical when the analysis found nothing
+	// to prune or sharpen.
+	pruneOpts := base
+	pruneOpts.StaticPrune = true
+	if pr, ok := verify("prune", p, pruneOpts); ok && seqOK {
+		if seq.Robust != pr.Robust {
+			r.addf("prune-parity", src, "unpruned robust=%v, pruned robust=%v (static pruning must preserve the verdict)", seq.Robust, pr.Robust)
+		} else if seq.Robust && pr.States > seq.States {
+			r.addf("prune-parity", src, "pruned run explored more states (%d) than the unpruned run (%d)", pr.States, seq.States)
+		} else if seq.Robust && !pr.Certificate && pr.PrunedLocs == 0 && !pr.CritSharpened && pr.States != seq.States {
+			r.addf("prune-parity", src, "analysis pruned nothing yet the state count changed: pruned %d, unpruned %d", pr.States, seq.States)
+		}
+		prParOpts := pruneOpts
+		prParOpts.Workers = cfg.parWorkers()
+		if pp, ok := verify("prune-par", p, prParOpts); ok {
+			if pr.Robust != pp.Robust {
+				r.addf("prune-parity", src, "pruned sequential robust=%v, pruned parallel robust=%v", pr.Robust, pp.Robust)
+			} else if pr.Robust && pr.States != pp.States {
+				r.addf("prune-parity", src, "pruned exact state counts differ on a robust program: sequential %d, parallel %d", pr.States, pp.States)
+			}
+		}
+	}
+
 	sraOpts := base
 	sraOpts.Model = core.ModelSRA
 	sraSeq, sraOK := verify("seq-sra", p, sraOpts)

@@ -233,6 +233,23 @@ func (g *Generator) thread(r *rng, p *Prog, maxStmts int, extras bool) Thread {
 	type pending struct{ at int } // forward jumps to resolve
 	var fwd []pending
 	for i := 0; i < n; i++ {
+		if r.pct(8) {
+			// Constant-feeding synchronization: r := c followed by a wait
+			// or BCAS whose comparand is that register. Semantically the
+			// same as a literal comparand, but it exercises the constant
+			// propagation in internal/analysis — the comparand's critical
+			// set must sharpen to the single fed constant.
+			reg := r.intn(t.NumRegs)
+			t.Stmts = append(t.Stmts, Stmt{Kind: SAssign, Reg: reg, E: con(r.intn(p.Vals))})
+			loc, arr, idx := g.memOperand(r, p, &t, true)
+			if r.pct(60) {
+				t.Stmts = append(t.Stmts, Stmt{Kind: SWait, Loc: loc, Arr: arr, Idx: idx, E: regE(reg)})
+			} else {
+				t.Stmts = append(t.Stmts, Stmt{Kind: SBCAS, Loc: loc, Arr: arr, Idx: idx,
+					E: regE(reg), E2: g.expr(r, p, &t, 0)})
+			}
+			continue
+		}
 		s := g.stmt(r, p, &t, extras)
 		t.Stmts = append(t.Stmts, s)
 		// Occasional forward conditional skip over the rest of the body.

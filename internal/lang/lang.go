@@ -307,8 +307,10 @@ type Inst struct {
 	E      *Expr
 	ER, EW *Expr
 	Target int
-	// Line is the source line of the instruction, for diagnostics.
+	// Line and Col are the source position of the instruction, for
+	// diagnostics. Col is 0 for programs built programmatically.
 	Line int
+	Col  int
 }
 
 // IsMem reports whether the instruction performs a shared-memory access

@@ -162,6 +162,70 @@ thread w2
 end
 `})
 
+	// LB (load buffering): RA keeps po ∪ rf acyclic, so the weak outcome
+	// a = b = 1 is impossible and every RA graph is SC; robust. The
+	// static conflict graph is NOT acyclic here — the two threads
+	// conflict on both x and y, a doubled edge — so this row documents
+	// the precision boundary: the pre-pass must keep exploring (no
+	// certificate) and exploration confirms robustness.
+	register(Entry{
+		Name: "LB", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program LB
+vals 2
+locs x y
+thread t1
+  a := x
+  y := 1
+end
+thread t2
+  b := y
+  x := 1
+end
+`})
+
+	// CoRR (coherence of read-read): a single writer and a single
+	// reader on one location. RA's per-location coherence makes every
+	// graph SC; robust. The conflict graph has exactly one conflict
+	// edge, so the static pre-pass discharges this row with a
+	// certificate and zero states explored.
+	register(Entry{
+		Name: "CoRR", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program CoRR
+vals 2
+locs x
+thread t1
+  x := 1
+end
+thread t2
+  a := x
+  b := x
+end
+`})
+
+	// disjoint-fence: thread-private data plus a shared SC fence (the
+	// Ex. 3.6 FADD sugar). The fence location is RMW-pure, so its edge
+	// is synchronization, not conflict: no conflict edge at all, and the
+	// pre-pass certifies robustness without exploration.
+	register(Entry{
+		Name: "disjoint-fence", RobustRA: true, RobustTSO: true, Threads: 2,
+		Source: `
+program disjoint-fence
+vals 2
+locs x y
+thread t1
+  x := 1
+  fence
+  a := x
+end
+thread t2
+  y := 1
+  fence
+  b := y
+end
+`})
+
 	// Example 3.4 (2+2W): RA writes need not pick globally maximal
 	// timestamps; not robust against RA, robust against TSO.
 	register(Entry{

@@ -68,6 +68,28 @@ func Parse(src string) (*lang.Program, error) {
 	return p.prog, nil
 }
 
+// ParseLenient parses a program source without running the program-level
+// validation pass. The result may violate lang.Program invariants (e.g.
+// constants at or above the declared value bound) and must not be fed to
+// the verifier; it exists so that "rocker vet" can inspect and report on
+// programs that Parse would reject outright, with real source positions.
+func ParseLenient(src string) (*lang.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:   toks,
+		prog:   &lang.Program{ValCount: 4},
+		arrays: map[string]arrayInfo{},
+		locIdx: map[string]lang.Loc{},
+	}
+	if err := p.parseTop(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
 // MustParse is Parse that panics on error; intended for the embedded corpus
 // and tests.
 func MustParse(src string) *lang.Program {
@@ -346,8 +368,9 @@ func (p *parser) parseMemRef(id token) (lang.MemRef, error) {
 	return lang.MemRef{}, p.errf(id, "unknown location %q", id.text)
 }
 
-func (p *parser) emit(in lang.Inst, line int) {
-	in.Line = line
+func (p *parser) emit(in lang.Inst, t token) {
+	in.Line = t.line
+	in.Col = t.col
 	p.insts = append(p.insts, in)
 }
 
@@ -386,7 +409,7 @@ func (p *parser) parseStmt() error {
 			return err
 		}
 		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl})
-		p.emit(lang.Inst{Kind: lang.IGoto, E: cond}, t.line)
+		p.emit(lang.Inst{Kind: lang.IGoto, E: cond}, t)
 		return p.endOfLine()
 	case "goto":
 		lbl, err := p.expect(tIdent, "label")
@@ -394,7 +417,7 @@ func (p *parser) parseStmt() error {
 			return err
 		}
 		p.pending = append(p.pending, pendingJump{len(p.insts), lbl.text, lbl})
-		p.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, t.line)
+		p.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, t)
 		return p.endOfLine()
 	case "wait":
 		if _, err := p.expect(tLParen, "'('"); err != nil {
@@ -419,21 +442,21 @@ func (p *parser) parseStmt() error {
 		if _, err := p.expect(tRParen, "')'"); err != nil {
 			return err
 		}
-		p.emit(lang.Inst{Kind: lang.IWait, Mem: mem, E: e}, t.line)
+		p.emit(lang.Inst{Kind: lang.IWait, Mem: mem, E: e}, t)
 		return p.endOfLine()
 	case "BCAS", "bcas":
 		mem, er, ew, err := p.parseCASArgs()
 		if err != nil {
 			return err
 		}
-		p.emit(lang.Inst{Kind: lang.IBCAS, Mem: mem, ER: er, EW: ew}, t.line)
+		p.emit(lang.Inst{Kind: lang.IBCAS, Mem: mem, ER: er, EW: ew}, t)
 		return p.endOfLine()
 	case "assert":
 		e, err := p.parseExpr()
 		if err != nil {
 			return err
 		}
-		p.emit(lang.Inst{Kind: lang.IAssert, E: e}, t.line)
+		p.emit(lang.Inst{Kind: lang.IAssert, E: e}, t)
 		return p.endOfLine()
 	case "fence":
 		p.usedFence = true
@@ -443,11 +466,11 @@ func (p *parser) parseStmt() error {
 			Reg:  r,
 			Mem:  lang.MemRef{Size: fencePlaceholder},
 			E:    lang.Const(0),
-		}, t.line)
+		}, t)
 		return p.endOfLine()
 	case "skip":
 		r := p.reg("__skip")
-		p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(0)}, t.line)
+		p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(0)}, t)
 		return p.endOfLine()
 	}
 	// Assignment forms: "<ident> := ..." or "<array>[e] := ...".
@@ -463,7 +486,7 @@ func (p *parser) parseStmt() error {
 		if err != nil {
 			return err
 		}
-		p.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: e}, t.line)
+		p.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: e}, t)
 		return p.endOfLine()
 	}
 	// Register target.
@@ -501,7 +524,7 @@ func (p *parser) parseStmt() error {
 			if _, err := p.expect(tRParen, "')'"); err != nil {
 				return err
 			}
-			p.emit(lang.Inst{Kind: kind, Reg: r, Mem: mem, E: e}, t.line)
+			p.emit(lang.Inst{Kind: kind, Reg: r, Mem: mem, E: e}, t)
 			return p.endOfLine()
 		case "CAS", "cas":
 			p.pos++
@@ -509,7 +532,7 @@ func (p *parser) parseStmt() error {
 			if err != nil {
 				return err
 			}
-			p.emit(lang.Inst{Kind: lang.ICAS, Reg: r, Mem: mem, ER: er, EW: ew}, t.line)
+			p.emit(lang.Inst{Kind: lang.ICAS, Reg: r, Mem: mem, ER: er, EW: ew}, t)
 			return p.endOfLine()
 		}
 		if p.isMemName(rhs.text) {
@@ -518,7 +541,7 @@ func (p *parser) parseStmt() error {
 			if err != nil {
 				return err
 			}
-			p.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, t.line)
+			p.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, t)
 			return p.endOfLine()
 		}
 	}
@@ -526,7 +549,7 @@ func (p *parser) parseStmt() error {
 	if err != nil {
 		return err
 	}
-	p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: e}, t.line)
+	p.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: e}, t)
 	return p.endOfLine()
 }
 

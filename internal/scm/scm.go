@@ -51,6 +51,19 @@ type Monitor struct {
 	// conditions of Theorem 5.3 can witness non-robustness. The tracked
 	// components are unchanged — they are properties of the SC runs.
 	SRA bool
+	// Tracked restricts instrumentation to a subset of locations (the
+	// static pre-pass of internal/analysis). The monitor state is a
+	// direct product of per-location "planes" — for location y: the
+	// y-bits of VSC/CV/CVR/CW/CWR, the y-columns of the MSC/WSC rows,
+	// and the V/VR/W/WR (·)(y) value sets — and every transition updates
+	// each plane from that plane alone. Masking untracked planes to zero
+	// therefore leaves tracked planes bit-identical to the full monitor
+	// along every SC run, while CheckOp at an untracked location
+	// self-disables through its VSC guard. Sound whenever no robustness
+	// violation can be flagged at an untracked location (the conflict
+	// cycle criterion of internal/analysis). NewMonitor defaults it to
+	// all locations = the unoptimized construction.
+	Tracked uint64
 
 	// Offsets into State.B of each component.
 	oVSC, oMSC, oWSC     int // loc-sets: [T], [L], [L]
@@ -90,6 +103,7 @@ func NewMonitor(numThreads, numLocs, valCount int, crit []uint64, na []bool) *Mo
 	} else {
 		m.allLocs = uint64(1)<<L - 1
 	}
+	m.Tracked = m.allLocs
 	return m
 }
 
@@ -145,11 +159,11 @@ func (mon *Monitor) Init() *State {
 		B: make([]uint64, mon.words),
 	}
 	for t := 0; t < mon.T; t++ {
-		s.B[mon.oVSC+t] = mon.allLocs
+		s.B[mon.oVSC+t] = mon.allLocs & mon.Tracked
 	}
 	for x := 0; x < mon.L; x++ {
-		s.B[mon.oMSC+x] = 1 << x
-		s.B[mon.oWSC+x] = 1 << x
+		s.B[mon.oMSC+x] = (1 << x) & mon.Tracked
+		s.B[mon.oWSC+x] = (1 << x) & mon.Tracked
 	}
 	return s
 }
@@ -219,6 +233,12 @@ func (mon *Monitor) stepWrite(s *State, tau, x int, v lang.Val) {
 	var vrBit uint64
 	if vrCrit {
 		vrBit = 1 << vR
+	}
+	if mon.Tracked&xb == 0 {
+		// Untracked plane: record neither the stale value (vrBit) nor
+		// the non-critical summary bit (vrCrit = true suppresses the
+		// CV/CW updates), keeping the plane identically zero.
+		vrBit, vrCrit = 0, true
 	}
 	B := s.B
 
@@ -311,6 +331,12 @@ func (mon *Monitor) stepRMW(s *State, tau, x int, vW lang.Val) {
 	var vrBit uint64
 	if vrCrit {
 		vrBit = 1 << vR
+	}
+	if mon.Tracked&xb == 0 {
+		// Untracked plane: record neither the stale value (vrBit) nor
+		// the non-critical summary bit (vrCrit = true suppresses the
+		// CV/CW updates), keeping the plane identically zero.
+		vrBit, vrCrit = 0, true
 	}
 	B := s.B
 

@@ -29,6 +29,12 @@ type VerifyRequest struct {
 	// Wait blocks the request until the job finishes and returns the
 	// final snapshot inline (one-shot CLI use; polling is the default).
 	Wait bool `json:"wait,omitempty"`
+	// StaticPrune runs the internal/analysis conflict pre-pass before
+	// exploring (execution-graph modes only): programs with an acyclic
+	// conflict graph are discharged by a static certificate with zero
+	// states, and locations outside every dangerous cycle are dropped
+	// from monitor instrumentation. Verdicts are unchanged.
+	StaticPrune bool `json:"staticPrune,omitempty"`
 }
 
 // errorJSON is every non-2xx body. Line/Col are set for parse errors.
@@ -96,6 +102,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !req.Wait {
 		req.Wait = q.Get("wait") == "1" || q.Get("wait") == "true"
 	}
+	if !req.StaticPrune {
+		req.StaticPrune = q.Get("prune") == "1" || q.Get("prune") == "true"
+	}
 	if req.Mode == "" {
 		req.Mode = ModeRA
 	}
@@ -134,7 +143,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
-	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout)
+	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout, req.StaticPrune)
 	switch outcome {
 	case submitCached:
 		writeJSON(w, http.StatusOK, struct {

@@ -62,11 +62,19 @@ type Result struct {
 	WeakStates int `json:"weakStates,omitempty"`
 	// MetadataBits is the §5.1 instrumentation size (execution-graph
 	// modes).
-	MetadataBits int     `json:"metadataBits,omitempty"`
-	Violations   int     `json:"violations,omitempty"`
-	AssertFail   string  `json:"assertFail,omitempty"`
-	TraceLen     int     `json:"traceLen,omitempty"`
-	ElapsedMs    float64 `json:"elapsedMs"`
+	MetadataBits int    `json:"metadataBits,omitempty"`
+	Violations   int    `json:"violations,omitempty"`
+	AssertFail   string `json:"assertFail,omitempty"`
+	TraceLen     int    `json:"traceLen,omitempty"`
+	// Static-pruning outcomes (execution-graph modes with staticPrune
+	// set). Certificate means the conflict analysis discharged the
+	// program with zero exploration; PrunedLocs counts locations dropped
+	// from monitor instrumentation; CritSharpened reports that constant
+	// propagation shrank some critical-value set.
+	Certificate   bool    `json:"certificate,omitempty"`
+	PrunedLocs    int     `json:"prunedLocs,omitempty"`
+	CritSharpened bool    `json:"critSharpened,omitempty"`
+	ElapsedMs     float64 `json:"elapsedMs"`
 }
 
 // job is one queued or running verification. Progress fields are atomics:
@@ -79,9 +87,10 @@ type job struct {
 	key    string // verdict-cache key
 	prg    *lang.Program
 
-	maxStates int
-	workers   int
-	timeout   time.Duration
+	maxStates   int
+	workers     int
+	timeout     time.Duration
+	staticPrune bool
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -220,6 +229,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 			AbstractVals: true,
 			MaxStates:    j.maxStates,
 			Workers:      j.workers,
+			StaticPrune:  j.staticPrune,
 			Ctx:          ctx,
 			Progress: func(p core.Progress) {
 				j.states.Store(int64(p.States))
@@ -251,13 +261,16 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		res := &Result{
-			Mode:         j.mode,
-			Robust:       v.Robust,
-			States:       v.States,
-			MetadataBits: v.MetadataBits,
-			Violations:   len(v.Violations),
-			TraceLen:     len(v.Trace),
-			ElapsedMs:    msSince(start),
+			Mode:          j.mode,
+			Robust:        v.Robust,
+			States:        v.States,
+			MetadataBits:  v.MetadataBits,
+			Violations:    len(v.Violations),
+			TraceLen:      len(v.Trace),
+			Certificate:   v.Certificate,
+			PrunedLocs:    v.PrunedLocs,
+			CritSharpened: v.CritSharpened,
+			ElapsedMs:     msSince(start),
 		}
 		if v.AssertFail != nil {
 			res.AssertFail = v.AssertFail.Error()

@@ -185,27 +185,28 @@ const (
 
 // submit admits a verification request: cache hit, enqueued job, or
 // rejection. req must already be validated.
-func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration) (*job, *Result, submitOutcome) {
+func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration, staticPrune bool) (*job, *Result, submitOutcome) {
 	d := prog.CanonicalDigest(p)
-	key := s.cacheKey(d, mode, maxStates)
+	key := s.cacheKey(d, mode, maxStates, staticPrune)
 	if res := s.cache.get(key); res != nil {
 		return nil, res, submitCached
 	}
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{
-		mode:      mode,
-		digest:    d,
-		key:       key,
-		prg:       p,
-		maxStates: maxStates,
-		workers:   s.cfg.Workers,
-		timeout:   timeout,
-		ctx:       ctx,
-		cancel:    cancel,
-		created:   time.Now(),
-		status:    StatusQueued,
-		done:      make(chan struct{}),
+		mode:        mode,
+		digest:      d,
+		key:         key,
+		prg:         p,
+		maxStates:   maxStates,
+		workers:     s.cfg.Workers,
+		timeout:     timeout,
+		staticPrune: staticPrune,
+		ctx:         ctx,
+		cancel:      cancel,
+		created:     time.Now(),
+		status:      StatusQueued,
+		done:        make(chan struct{}),
 	}
 
 	s.mu.Lock()
@@ -256,9 +257,16 @@ func (s *Server) retire(id string) {
 // cacheKey derives the verdict-cache key. The digest captures the LTS;
 // mode and the effective state bound are the only request knobs that can
 // change a verdict (engine worker counts cannot, by the engines'
-// determinism contract).
-func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int) string {
-	return fmt.Sprintf("%s|%s|%d", d, mode, maxStates)
+// determinism contract). Static pruning never changes a verdict either,
+// but it does change the reported state count and the result's
+// certificate/prunedLocs fields, so pruned and unpruned runs memoize
+// under distinct keys.
+func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int, staticPrune bool) string {
+	p := 0
+	if staticPrune {
+		p = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%d", d, mode, maxStates, p)
 }
 
 // getJob looks up a job by id.

@@ -115,6 +115,51 @@ func TestVerifyEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStaticPruneOption exercises the staticPrune request knob: a
+// conflict-free program is discharged by the static certificate with zero
+// states, the verdict matches the unpruned run, and the two runs memoize
+// under distinct cache keys (their state counts differ, so sharing a key
+// would serve the wrong numbers).
+func TestStaticPruneOption(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxJobs: 2, Workers: 2})
+
+	verify := func(src string, prune bool) *service.Result {
+		resp, body := postJSON(t, ts.URL, service.VerifyRequest{Source: src, Wait: true, StaticPrune: prune})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("code=%d body=%s", resp.StatusCode, body)
+		}
+		var snap service.Snapshot
+		if err := json.Unmarshal(body, &snap); err == nil && snap.Result != nil {
+			return snap.Result
+		}
+		// Cached responses have a different envelope.
+		var cached struct {
+			Result *service.Result `json:"result"`
+		}
+		if err := json.Unmarshal(body, &cached); err != nil || cached.Result == nil {
+			t.Fatalf("bad body: %s", body)
+		}
+		return cached.Result
+	}
+
+	src := corpusSource(t, "CoRR")
+	base := verify(src, false)
+	if !base.Robust || base.Certificate || base.States == 0 {
+		t.Fatalf("unpruned CoRR: %+v, want robust via exploration", base)
+	}
+	pruned := verify(src, true)
+	if !pruned.Robust || !pruned.Certificate || pruned.States != 0 {
+		t.Fatalf("pruned CoRR: %+v, want static certificate with 0 states", pruned)
+	}
+
+	// Re-submitting the unpruned request must still see the exploration
+	// numbers, not the certificate result.
+	again := verify(src, false)
+	if again.Certificate || again.States != base.States {
+		t.Fatalf("unpruned resubmission: %+v, want the cached exploration result %+v", again, base)
+	}
+}
+
 // TestStateModes exercises the state-robustness engines through the
 // service: SB reaches SC-unreachable program states under both RA and
 // TSO; MP does not.
