@@ -162,6 +162,29 @@ func BenchmarkParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkReduce compares exploration with the partial-order reduction
+// layer (ample sets, sleep sets, thread symmetry) off and on over every
+// Figure 7 row. seqlock and the chase-lev family are the headline rows:
+// symmetric reader/thief pairs fold under thread symmetry and their
+// post-write phases collapse under read-only ample sets (2.4–8× fewer
+// states; the exact on/off table is pinned in internal/core/reduce_test.go).
+// benchVerify fails on verdict drift, so the benchmark doubles as a parity
+// smoke.
+func BenchmarkReduce(b *testing.B) {
+	for _, e := range litmus.Fig7() {
+		e := e
+		for _, reduce := range []bool{false, true} {
+			mode := map[bool]string{false: "off", true: "on"}[reduce]
+			b.Run(e.Name+"/"+mode, func(b *testing.B) {
+				if e.Big && testing.Short() {
+					b.Skip("multi-minute row; run without -short")
+				}
+				benchVerify(b, e.Name, core.Options{AbstractVals: true, HashCompact: e.Big, Reduce: reduce})
+			})
+		}
+	}
+}
+
 // BenchmarkAblationValues compares the §5.1 abstract value management
 // against full value tracking on the rows where the paper highlights the
 // difference (ticketlock4: ~9× in the paper) and on a few controls.

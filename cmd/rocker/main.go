@@ -18,8 +18,12 @@
 //	-max N        abort after N states (0 = unbounded)
 //	-workers N    parallel exploration workers (0 = all cores, 1 = sequential)
 //	-prune        run the static conflict-analysis pre-pass (internal/analysis)
+//	-noreduce     disable the partial-order reduction layer (ample sets,
+//	              sleep sets, thread symmetry), which is on by default
 //	-explain      print the pre-pass report: summaries, conflict graph,
-//	              pruned locations, and the certificate or why it declined
+//	              pruned locations, and the certificate or why it declined;
+//	              with reduction on, also the independence relation and the
+//	              initial-state ample-set decision
 //	-trace        print the counterexample SC run on violations
 //	-q            print only the verdict line
 //	-stats        print exploration statistics (states/sec, heap, GC cycles)
@@ -62,6 +66,7 @@ func run() int {
 	quiet := flag.Bool("q", false, "verdict line only")
 	stats := flag.Bool("stats", false, "print exploration statistics (states/sec, heap, GC cycles)")
 	prune := flag.Bool("prune", false, "run the static conflict-analysis pre-pass before exploring")
+	noReduce := flag.Bool("noreduce", false, "disable partial-order reduction (ample sets, sleep sets, thread symmetry)")
 	explain := flag.Bool("explain", false, "print the static-analysis report (implies -prune)")
 	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
 	list := flag.Bool("list", false, "list built-in corpus programs")
@@ -110,7 +115,7 @@ func run() int {
 				continue
 			}
 			p := e.Program()
-			v, err := core.Verify(p, core.Options{AbstractVals: !*full, Workers: *workers, Ctx: ctx})
+			v, err := core.Verify(p, core.Options{AbstractVals: !*full, Workers: *workers, Ctx: ctx, Reduce: !*noReduce})
 			if err != nil {
 				fatal(err)
 			}
@@ -180,9 +185,13 @@ func run() int {
 		Workers:      *workers,
 		Ctx:          ctx,
 		StaticPrune:  *prune || *explain,
+		Reduce:       !*noReduce,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *explain && !*noReduce {
+		fmt.Print(core.ExplainReduce(program))
 	}
 	if !*explain && v.Analysis != nil {
 		// -prune without -explain: keep the verdict output, drop the
@@ -213,6 +222,10 @@ func run() int {
 	}
 	if *stats {
 		printStats(v.States, v.Elapsed)
+		if !*noReduce {
+			fmt.Printf("  reduction: %d ample expansions, %d sleep-set skips, %d symmetry folds\n",
+				v.AmpleHits, v.SleepSkips, v.SymmetryFolds)
+		}
 	}
 	if !v.Robust {
 		return 1

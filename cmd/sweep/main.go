@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N] [-timeout d] [-prune]
+//	sweep [-maxthreads N] [-rounds N] [-lamport] [-workers N] [-timeout d]
+//	      [-prune] [-noreduce]
 //
 // With -timeout, each sweep point is abandoned (and reported as such)
 // once the per-point deadline expires, so a sweep past the machine's
@@ -34,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-point deadline (0 = none)")
 	prune := flag.Bool("prune", false, "run the static conflict-analysis pre-pass before exploring")
+	noReduce := flag.Bool("noreduce", false, "disable partial-order reduction (ample sets, sleep sets, thread symmetry)")
 	flag.Parse()
 
 	fmt.Printf("%-22s %10s %12s %10s %12s %8s\n",
@@ -62,7 +64,7 @@ func main() {
 		var v *core.Verdict
 		err = measure(func(ctx context.Context) error {
 			var verr error
-			v, verr = core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx, StaticPrune: *prune})
+			v, verr = core.Verify(p, core.Options{AbstractVals: true, HashCompact: true, Workers: *workers, Ctx: ctx, StaticPrune: *prune, Reduce: !*noReduce})
 			return verr
 		})
 		if errors.Is(err, core.ErrCanceled) {
@@ -80,7 +82,7 @@ func main() {
 		var sc *core.SCVerdict
 		err = measure(func(ctx context.Context) error {
 			var verr error
-			sc, verr = core.VerifySC(p, core.Options{Workers: *workers, Ctx: ctx})
+			sc, verr = core.VerifySC(p, core.Options{Workers: *workers, Ctx: ctx, Reduce: !*noReduce})
 			return verr
 		})
 		if errors.Is(err, core.ErrCanceled) {

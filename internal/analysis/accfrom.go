@@ -1,0 +1,96 @@
+package analysis
+
+import "repro/internal/lang"
+
+// This file computes forward may-access summaries: for every thread and
+// every program counter, the set of locations the thread may still touch in
+// any continuation of its execution from that pc. The partial-order
+// reduction in internal/core uses them as its static independence oracle —
+// a pending operation on location x is a candidate ample representative
+// only if no *other* thread's forward summary (at its current pc) contains
+// x (full privacy), or, for a plain read, if no other thread's forward
+// *write* summary contains x (read-only sharing).
+//
+// Soundness piggybacks on constprop: the per-pc register value sets
+// over-approximate every run under every memory model (loads go to top), so
+// the cell masks resolved through them over-approximate every location an
+// array reference can denote, and branch feasibility is judged on the same
+// over-approximate condition sets. A location absent from AccessSets'
+// result at pc is therefore untouchable by that thread from pc onward in
+// any execution whatsoever.
+
+// AccessSets returns, per thread, per program counter (len(Insts)+1
+// entries; the last is the terminal pc), the location-bit masks of cells
+// the thread may access (acc) and may write — including RMWs, whose
+// success both reads and writes (wr) — at or after that pc. Statically
+// unreachable pcs carry zero masks.
+func AccessSets(p *lang.Program) (acc, wr [][]uint64) {
+	vc := p.ValCount
+	acc = make([][]uint64, len(p.Threads))
+	wr = make([][]uint64, len(p.Threads))
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		n := len(t.Insts)
+		facts := constprop(p, ti)
+		genA := make([]uint64, n+1)
+		genW := make([]uint64, n+1)
+		// succs[pc] holds up to two CFG successors (-1 = none); branch
+		// arms constprop proves infeasible are dropped, matching the
+		// reachability judgement the cell masks are built on.
+		type edge struct{ a, b int }
+		succs := make([]edge, n+1)
+		succs[n] = edge{-1, -1}
+		for pc := 0; pc < n; pc++ {
+			succs[pc] = edge{-1, -1}
+			regs := facts[pc]
+			if regs == nil {
+				continue // unreachable under every memory model
+			}
+			in := &t.Insts[pc]
+			if in.IsMem() {
+				m := cells(in.Mem, regs, vc)
+				genA[pc] = m
+				switch in.Kind {
+				case lang.IWrite, lang.IFADD, lang.ICAS, lang.IBCAS, lang.IXCHG:
+					genW[pc] = m
+				}
+			}
+			if in.Kind == lang.IGoto {
+				cond := evalSet(in.E, regs, vc)
+				if cond&1 != 0 {
+					succs[pc].a = pc + 1
+				}
+				if cond&^uint64(1) != 0 {
+					succs[pc].b = in.Target
+				}
+			} else {
+				succs[pc].a = pc + 1
+			}
+		}
+		a := make([]uint64, n+1)
+		w := make([]uint64, n+1)
+		copy(a, genA)
+		copy(w, genW)
+		// Backward fixpoint over the (tiny) CFG: iterate until stable.
+		for changed := true; changed; {
+			changed = false
+			for pc := n - 1; pc >= 0; pc-- {
+				na, nw := a[pc], w[pc]
+				if s := succs[pc].a; s >= 0 {
+					na |= a[s]
+					nw |= w[s]
+				}
+				if s := succs[pc].b; s >= 0 {
+					na |= a[s]
+					nw |= w[s]
+				}
+				if na != a[pc] || nw != w[pc] {
+					a[pc], w[pc] = na, nw
+					changed = true
+				}
+			}
+		}
+		acc[ti], wr[ti] = a, w
+	}
+	return acc, wr
+}

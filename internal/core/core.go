@@ -93,6 +93,20 @@ type Options struct {
 	// ProgressEvery is the number of expanded states between Progress
 	// calls; 0 means 4096.
 	ProgressEvery int
+	// Reduce turns on conflict-graph-guided partial-order reduction:
+	// ample-set expansion (a thread whose pending operation touches a
+	// location no other thread can still access — or, for a plain read, no
+	// other thread can still write, per the internal/analysis forward
+	// summaries — stands in for the full expansion of a state), sleep sets
+	// (edges that only commute with an already-explored interleaving are
+	// skipped; exact visited set only), and thread-symmetry
+	// canonicalization (states of byte-identical threads are interned up
+	// to permutation, with counterexample traces concretized back through
+	// the recorded permutations). Verdicts are bit-identical with and
+	// without it; the distinct-state count shrinks — often by multiples —
+	// and stays worker-count-independent on robust runs. The zero value is
+	// off; the rocker CLI enables it by default (-noreduce opts out).
+	Reduce bool
 	// StaticPrune runs the internal/analysis pre-pass before exploring:
 	// locations outside every cross-thread conflict cycle are dropped
 	// from the SCM instrumentation (shrinking the state space without
@@ -173,6 +187,15 @@ type Verdict struct {
 	// CritSharpened reports that constant propagation strictly shrank at
 	// least one critical-value mask.
 	CritSharpened bool
+	// AmpleHits counts expanded states where the partial-order reduction
+	// (Options.Reduce) replaced the full expansion by a single ample
+	// representative; SleepSkips counts edges elided by sleep sets;
+	// SymmetryFolds counts successor states canonicalized under a
+	// non-identity thread permutation. All three are 0 with Reduce off.
+	// AmpleHits is (like States) worker-count-independent on full runs;
+	// SleepSkips and SymmetryFolds depend on exploration order and may
+	// vary across parallel runs.
+	AmpleHits, SleepSkips, SymmetryFolds int64
 	// Analysis holds the full pre-pass result when StaticPrune is on,
 	// for -explain style reporting.
 	Analysis *analysis.Result
@@ -263,6 +286,11 @@ type scratch struct {
 	keyBuf []byte
 	popBuf []byte
 	free   [][]byte
+	// Partial-order reduction scratch (Options.Reduce): the
+	// canonicalization permutation buffer and per-worker reduction
+	// counters, summed into the verdict after the run.
+	perm                 []uint8
+	cAmple, cSleep, cSym int64
 }
 
 func (v *verifier) newScratch(program *lang.Program) *scratch {
@@ -339,6 +367,7 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	verdict := &Verdict{Robust: true, MetadataBits: v.mon.Bits()}
 	v.annotate(verdict)
+	var ws *scratch
 	finish := func() (*Verdict, error) {
 		// A canceled run never reports a verdict, even if exploration
 		// happened to finish before the poll noticed: the caller asked for
@@ -346,6 +375,9 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		// service layer's "canceled, not a verdict" contract needs.
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return nil, canceled(opts.Ctx)
+		}
+		if ws != nil {
+			verdict.AmpleHits, verdict.SleepSkips, verdict.SymmetryFolds = ws.cAmple, ws.cSleep, ws.cSym
 		}
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil
@@ -357,6 +389,13 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		return finish()
 	}
 	ms0 := v.mon.Init()
+	var red *reducer
+	if opts.Reduce {
+		red = newReducer(program, v.p, v.mon)
+	}
+	// Sleep sets need the exact store (re-expansion re-materializes keys,
+	// which hash-compacted stores cannot) and per-state uint64 masks.
+	useSleep := red != nil && !opts.HashCompact && red.nT <= maxSleepThreads
 
 	var store *explore.Store
 	if opts.HashCompact {
@@ -373,7 +412,10 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	// keeps no key bytes, a real queue carries payload copies whose buffers
 	// are recycled through a free list.
 	var queue explore.Queue[[]byte]
-	ws := v.newScratch(program)
+	ws = v.newScratch(program)
+	if red != nil {
+		ws.perm = make([]uint8, red.nT)
+	}
 	rootKey := ws.encode(v, ps0, ms0)
 	root, _ := store.AddBytes(rootKey, -1, explore.Step{})
 	if opts.HashCompact {
@@ -382,10 +424,18 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 
 	report := func(id int32, viol *scm.Violation) bool {
 		verdict.Robust = false
-		verdict.Violations = append(verdict.Violations, viol)
 		if verdict.Trace == nil {
 			verdict.Trace = store.Trace(id)
+			if red != nil && red.symm() {
+				// The trace and the violation are recorded on the symmetry
+				// quotient; concretize them back into the original
+				// program's thread names. Later violations (with
+				// KeepAllViolations) stay canonical: each names a thread of
+				// the same class, which is truthful by symmetry.
+				viol = concretizeViolation(viol, red.concretize(verdict.Trace))
+			}
 		}
+		verdict.Violations = append(verdict.Violations, viol)
 		return !opts.KeepAllViolations
 	}
 
@@ -395,19 +445,28 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	expanded := int64(0)
 	next := int32(0)
+	// requeue holds already-expanded states whose sleep mask strictly
+	// shrank on a revisit: they must be re-expanded so edges the larger
+	// mask elided get explored (checks and counters are not repeated).
+	var requeue []int32
 	for {
 		var item explore.QItem[[]byte]
+		requeued := false
 		if opts.HashCompact {
 			var ok bool
 			if item, ok = queue.Pop(); !ok {
 				break
 			}
-		} else {
-			if int(next) >= store.Len() {
-				break
-			}
+		} else if int(next) < store.Len() {
 			item = explore.QItem[[]byte]{ID: next, St: store.KeyBytes(next)}
 			next++
+		} else if n := len(requeue); n > 0 {
+			id := requeue[n-1]
+			requeue = requeue[:n-1]
+			item = explore.QItem[[]byte]{ID: id, St: store.KeyBytes(id)}
+			requeued = true
+		} else {
+			break
 		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
@@ -425,29 +484,55 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 		ops := ws.ops
 		v.p.OpsInto(ops, ws.cur)
 
-		// Theorem 5.3 conditions for every thread's pending operation.
-		for t := range ops {
-			if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
-				if report(item.ID, viol) {
-					verdict.States = store.Len()
-					return finish()
+		if !requeued {
+			// Theorem 5.3 conditions for every thread's pending operation.
+			for t := range ops {
+				if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
+					if report(item.ID, viol) {
+						verdict.States = store.Len()
+						return finish()
+					}
 				}
 			}
-		}
-		// Definition 6.1 racy-state condition (§6).
-		if v.hasNA {
-			if viol := v.mon.CheckRace(ops); viol != nil {
-				if report(item.ID, viol) {
-					verdict.States = store.Len()
-					return finish()
+			// Definition 6.1 racy-state condition (§6).
+			if v.hasNA {
+				if viol := v.mon.CheckRace(ops); viol != nil {
+					if report(item.ID, viol) {
+						verdict.States = store.Len()
+						return finish()
+					}
 				}
 			}
 		}
 
-		// Successors: every SC-enabled thread action.
+		// Successors: every SC-enabled thread action — or, with Reduce, a
+		// single ample representative when one qualifies, minus any edges
+		// the state's sleep set proves redundant (ample states ignore the
+		// sleep set: the one representative is always expanded).
+		ampleT := -1
+		if red != nil {
+			ampleT = red.ample(ws.curMS.M, ws.cur, ws.nxt, ops)
+			if ampleT >= 0 && !requeued {
+				ws.cAmple++
+			}
+		}
+		var sleepZ, expandedSoFar uint64
+		if useSleep {
+			sleepZ = store.Sleep(item.ID)
+		}
 		for t := range ops {
 			op := ops[t]
 			if op.Kind == prog.OpNone {
+				continue
+			}
+			if ampleT >= 0 {
+				if t != ampleT {
+					continue
+				}
+			} else if useSleep && sleepZ>>t&1 != 0 {
+				if !requeued {
+					ws.cSleep++
+				}
 				continue
 			}
 			label, enabled := prog.SCLabel(op, ws.curMS.M[op.Loc], program.ValCount)
@@ -455,22 +540,53 @@ func Verify(program *lang.Program, opts Options) (*Verdict, error) {
 				continue // blocked wait/BCAS
 			}
 			afail := v.p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
+			step := explore.Step{Tid: lang.Tid(t), Lab: label}
 			if afail != nil {
 				verdict.Robust = false
+				verdict.Trace = append(store.Trace(item.ID), step)
+				if red != nil && red.symm() {
+					red.concretize(verdict.Trace)
+					af := *afail
+					af.Tid = verdict.Trace[len(verdict.Trace)-1].Tid
+					afail = &af
+				}
 				verdict.AssertFail = afail
-				verdict.Trace = append(store.Trace(item.ID), explore.Step{Tid: lang.Tid(t), Lab: label})
 				verdict.States = store.Len()
 				return finish()
 			}
+			var cz uint64
+			if useSleep {
+				cz = childSleep(ops, t, sleepZ|expandedSoFar)
+			}
+			expandedSoFar |= uint64(1) << t
 			savedTS := ws.cur.Threads[t]
 			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.nextMS.CopyFrom(&ws.curMS)
 			v.mon.Step(ws.nextMS, lang.Tid(t), label)
-			key := ws.encode(v, ws.cur, ws.nextMS)
+			var key []byte
+			if red != nil && red.symm() && !red.canonPerm(ws.cur, ws.nextMS, ws.perm) {
+				if !requeued {
+					ws.cSym++
+				}
+				step.Perm = packPerm(ws.perm)
+				cz = permuteMask(cz, ws.perm)
+				ws.keyBuf = ws.keyBuf[:0]
+				ws.keyBuf = v.p.EncodeStatePerm(ws.keyBuf, ws.cur, ws.perm)
+				ws.keyBuf = v.mon.EncodePerm(ws.keyBuf, ws.nextMS, ws.perm)
+				key = ws.keyBuf
+			} else {
+				key = ws.encode(v, ws.cur, ws.nextMS)
+			}
 			ws.cur.Threads[t] = savedTS
-			id, isNew := store.AddBytes(key, item.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
-			if isNew && opts.HashCompact {
-				queue.Push(id, ws.pushPayload(true, key))
+			if useSleep {
+				if id, _, shrunk := store.AddBytesSleep(key, item.ID, step, cz); shrunk && id < next {
+					requeue = append(requeue, id)
+				}
+			} else {
+				id, isNew := store.AddBytes(key, item.ID, step)
+				if isNew && opts.HashCompact {
+					queue.Push(id, ws.pushPayload(true, key))
+				}
 			}
 		}
 		if opts.HashCompact {

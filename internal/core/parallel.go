@@ -60,11 +60,26 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 	}
 	ms0 := v.mon.Init()
 
+	var red *reducer
+	if opts.Reduce {
+		red = newReducer(program, v.p, v.mon)
+	}
+	// Sleep sets need the exact store (re-expansion re-materializes keys,
+	// which hash-compacted stores cannot) and per-state uint64 masks. The
+	// final masks are the greatest fixpoint of a monotone intersection
+	// system, reached by chaotic iteration in any order (shrinks re-queue
+	// the state via a complemented-id marker), so the explored state set —
+	// and hence States — stays worker-count-independent.
+	useSleep := red != nil && !opts.HashCompact && red.nT <= maxSleepThreads
+
 	workers := opts.workerCount()
 	store := explore.NewSharded(opts.HashCompact)
 	scratches := make([]*scratch, workers)
 	for w := range scratches {
 		scratches[w] = v.newScratch(program)
+		if red != nil {
+			scratches[w].perm = make([]uint8, red.nT)
+		}
 	}
 	rootKey := scratches[0].encode(v, ps0, ms0)
 	rootID, _ := store.Add(rootKey, -1, explore.Step{})
@@ -108,6 +123,14 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 			return false
 		}
 		ws := scratches[w]
+		requeued := false
+		if it.ID < 0 {
+			// Sleep-mask shrink marker (see the AddSleep call below): the
+			// state is re-expanded so formerly elided edges get explored;
+			// checks and counters are not repeated.
+			it.ID = ^it.ID
+			requeued = true
+		}
 		itemKey := it.St
 		if !opts.HashCompact {
 			ws.popBuf = store.AppendKey(ws.popBuf[:0], it.ID)
@@ -118,24 +141,47 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 		ops := ws.ops
 		v.p.OpsInto(ops, ws.cur)
 
-		for t := range ops {
-			if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
-				if !record(it.ID, viol) {
-					return false
+		if !requeued {
+			for t := range ops {
+				if viol := v.mon.CheckOp(&ws.curMS, lang.Tid(t), ops[t]); viol != nil {
+					if !record(it.ID, viol) {
+						return false
+					}
 				}
 			}
-		}
-		if v.hasNA {
-			if viol := v.mon.CheckRace(ops); viol != nil {
-				if !record(it.ID, viol) {
-					return false
+			if v.hasNA {
+				if viol := v.mon.CheckRace(ops); viol != nil {
+					if !record(it.ID, viol) {
+						return false
+					}
 				}
 			}
 		}
 
+		ampleT := -1
+		if red != nil {
+			ampleT = red.ample(ws.curMS.M, ws.cur, ws.nxt, ops)
+			if ampleT >= 0 && !requeued {
+				ws.cAmple++
+			}
+		}
+		var sleepZ, expandedSoFar uint64
+		if useSleep {
+			sleepZ = store.Sleep(it.ID)
+		}
 		for t := range ops {
 			op := ops[t]
 			if op.Kind == prog.OpNone {
+				continue
+			}
+			if ampleT >= 0 {
+				if t != ampleT {
+					continue
+				}
+			} else if useSleep && sleepZ>>t&1 != 0 {
+				if !requeued {
+					ws.cSleep++
+				}
 				continue
 			}
 			label, enabled := prog.SCLabel(op, ws.curMS.M[op.Loc], program.ValCount)
@@ -143,25 +189,54 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 				continue // blocked wait/BCAS
 			}
 			afail := v.p.Threads[t].ApplyInto(ws.cur.Threads[t], label, &ws.nxt.Threads[t])
+			step := explore.Step{Tid: lang.Tid(t), Lab: label}
 			if afail != nil {
 				mu.Lock()
 				if assertFail == nil {
 					assertFail = afail
 					assertID = it.ID
-					assertStep = explore.Step{Tid: lang.Tid(t), Lab: label}
+					assertStep = step
 				}
 				mu.Unlock()
 				return false
 			}
+			var cz uint64
+			if useSleep {
+				cz = childSleep(ops, t, sleepZ|expandedSoFar)
+			}
+			expandedSoFar |= uint64(1) << t
 			savedTS := ws.cur.Threads[t]
 			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.nextMS.CopyFrom(&ws.curMS)
 			v.mon.Step(ws.nextMS, lang.Tid(t), label)
-			key := ws.encode(v, ws.cur, ws.nextMS)
+			var key []byte
+			if red != nil && red.symm() && !red.canonPerm(ws.cur, ws.nextMS, ws.perm) {
+				if !requeued {
+					ws.cSym++
+				}
+				step.Perm = packPerm(ws.perm)
+				cz = permuteMask(cz, ws.perm)
+				ws.keyBuf = ws.keyBuf[:0]
+				ws.keyBuf = v.p.EncodeStatePerm(ws.keyBuf, ws.cur, ws.perm)
+				ws.keyBuf = v.mon.EncodePerm(ws.keyBuf, ws.nextMS, ws.perm)
+				key = ws.keyBuf
+			} else {
+				key = ws.encode(v, ws.cur, ws.nextMS)
+			}
 			ws.cur.Threads[t] = savedTS
-			id, isNew := store.Add(key, it.ID, explore.Step{Tid: lang.Tid(t), Lab: label})
-			if isNew {
-				push(explore.Item[[]byte]{ID: id, St: ws.pushPayload(opts.HashCompact, key)})
+			if useSleep {
+				// Exact mode: payloads are nil, so markers carry no state.
+				id, isNew, shrunk := store.AddSleep(key, it.ID, step, cz)
+				if isNew {
+					push(explore.Item[[]byte]{ID: id})
+				} else if shrunk {
+					push(explore.Item[[]byte]{ID: ^id})
+				}
+			} else {
+				id, isNew := store.Add(key, it.ID, step)
+				if isNew {
+					push(explore.Item[[]byte]{ID: id, St: ws.pushPayload(opts.HashCompact, key)})
+				}
 			}
 		}
 		ws.recycle(it.St)
@@ -174,20 +249,37 @@ func verifyParallel(program *lang.Program, opts Options) (*Verdict, error) {
 		return nil, canceled(opts.Ctx)
 	}
 	verdict.States = store.Len()
+	for _, ws := range scratches {
+		verdict.AmpleHits += ws.cAmple
+		verdict.SleepSkips += ws.cSleep
+		verdict.SymmetryFolds += ws.cSym
+	}
 	if bound {
 		return nil, fmt.Errorf("%w (%d states)", ErrStateBound, store.Len())
 	}
 	if assertFail != nil {
 		verdict.Robust = false
-		verdict.AssertFail = assertFail
 		verdict.Trace = append(store.Trace(assertID), assertStep)
+		if red != nil && red.symm() {
+			red.concretize(verdict.Trace)
+			af := *assertFail
+			af.Tid = verdict.Trace[len(verdict.Trace)-1].Tid
+			assertFail = &af
+		}
+		verdict.AssertFail = assertFail
 	}
 	if len(violations) > 0 {
 		verdict.Robust = false
-		verdict.Violations = violations
 		if verdict.Trace == nil {
 			verdict.Trace = store.Trace(violID)
+			if red != nil && red.symm() {
+				// violations[0] is the one violID was recorded for; later
+				// ones (KeepAllViolations) stay canonical, which symmetry
+				// keeps truthful.
+				violations[0] = concretizeViolation(violations[0], red.concretize(verdict.Trace))
+			}
 		}
+		verdict.Violations = violations
 	}
 	return finish()
 }
@@ -209,11 +301,20 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 		return verdict, nil
 	}
 
+	var red *reducer
+	if opts.Reduce {
+		red = newReducer(program, p, nil)
+	}
+	useSleep := red != nil && !opts.HashCompact && red.nT <= maxSleepThreads
+
 	workers := opts.workerCount()
 	store := explore.NewSharded(opts.HashCompact)
 	scratches := make([]*scScratch, workers)
 	for w := range scratches {
 		scratches[w] = newSCScratch(p, program)
+		if red != nil {
+			scratches[w].perm = make([]uint8, red.nT)
+		}
 	}
 
 	var (
@@ -234,6 +335,12 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 			return false
 		}
 		ws := scratches[w]
+		requeued := false
+		if it.ID < 0 {
+			// Sleep-mask shrink marker (see verifyParallel).
+			it.ID = ^it.ID
+			requeued = true
+		}
 		itemKey := it.St
 		if !opts.HashCompact {
 			ws.popBuf = store.AppendKey(ws.popBuf[:0], it.ID)
@@ -244,8 +351,29 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 			ws.mem[i] = lang.Val(itemKey[n+i])
 		}
 		p.OpsInto(ws.ops, ws.cur)
+		ampleT := -1
+		if red != nil {
+			ampleT = red.ample(ws.mem, ws.cur, ws.nxt, ws.ops)
+			if ampleT >= 0 && !requeued {
+				ws.cAmple++
+			}
+		}
+		var sleepZ, expandedSoFar uint64
+		if useSleep {
+			sleepZ = store.Sleep(it.ID)
+		}
 		for t, op := range ws.ops {
 			if op.Kind == prog.OpNone {
+				continue
+			}
+			if ampleT >= 0 {
+				if t != ampleT {
+					continue
+				}
+			} else if useSleep && sleepZ>>t&1 != 0 {
+				if !requeued {
+					ws.cSleep++
+				}
 				continue
 			}
 			label, enabled := prog.SCLabel(op, ws.mem[op.Loc], program.ValCount)
@@ -261,14 +389,38 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 				mu.Unlock()
 				return false
 			}
+			var cz uint64
+			if useSleep {
+				cz = childSleep(ws.ops, t, sleepZ|expandedSoFar)
+			}
+			expandedSoFar |= uint64(1) << t
 			savedTS := ws.cur.Threads[t]
 			savedVal := ws.mem[op.Loc]
 			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.mem.Step(label)
-			key := ws.encode(p, ws.cur, ws.mem)
+			var key []byte
+			if red != nil && red.symm() && !red.canonPerm(ws.cur, nil, ws.perm) {
+				if !requeued {
+					ws.cSym++
+				}
+				cz = permuteMask(cz, ws.perm)
+				ws.keyBuf = ws.keyBuf[:0]
+				ws.keyBuf = p.EncodeStatePerm(ws.keyBuf, ws.cur, ws.perm)
+				ws.keyBuf = ws.mem.Encode(ws.keyBuf)
+				key = ws.keyBuf
+			} else {
+				key = ws.encode(p, ws.cur, ws.mem)
+			}
 			ws.cur.Threads[t] = savedTS
 			ws.mem[op.Loc] = savedVal
-			if id, isNew := store.Add(key, -1, explore.Step{}); isNew {
+			if useSleep {
+				id, isNew, shrunk := store.AddSleep(key, -1, explore.Step{}, cz)
+				if isNew {
+					push(explore.Item[[]byte]{ID: id})
+				} else if shrunk {
+					push(explore.Item[[]byte]{ID: ^id})
+				}
+			} else if id, isNew := store.Add(key, -1, explore.Step{}); isNew {
 				push(explore.Item[[]byte]{ID: id, St: ws.pushPayload(opts.HashCompact, key)})
 			}
 		}
@@ -282,6 +434,11 @@ func verifySCParallel(program *lang.Program, opts Options) (*SCVerdict, error) {
 	}
 	verdict.States = store.Len()
 	verdict.AssertFail = assertFail
+	for _, ws := range scratches {
+		verdict.AmpleHits += ws.cAmple
+		verdict.SleepSkips += ws.cSleep
+		verdict.SymmetryFolds += ws.cSym
+	}
 	if bound {
 		return nil, ErrStateBound
 	}

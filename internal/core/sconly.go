@@ -17,6 +17,12 @@ type SCVerdict struct {
 	States int
 	// Elapsed is the wall-clock exploration time.
 	Elapsed time.Duration
+	// AmpleHits, SleepSkips and SymmetryFolds mirror Verdict's reduction
+	// counters; all 0 unless Options.Reduce. With symmetry on, a reported
+	// AssertFail.Tid names a thread of the failing thread's symmetry
+	// class — interchangeable by construction (this explorer keeps no
+	// traces to concretize through).
+	AmpleHits, SleepSkips, SymmetryFolds int64
 }
 
 // scScratch is the per-worker expansion state of the SC-only explorer:
@@ -30,6 +36,9 @@ type scScratch struct {
 	keyBuf []byte
 	popBuf []byte
 	free   [][]byte
+	// Partial-order reduction scratch and counters (see scratch).
+	perm                 []uint8
+	cAmple, cSleep, cSym int64
 }
 
 func newSCScratch(p *prog.P, program *lang.Program) *scScratch {
@@ -93,10 +102,14 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	}
 	p := prog.New(program)
 	verdict := &SCVerdict{}
+	var ws *scScratch
 	finish := func() (*SCVerdict, error) {
 		// Mirror Verify: a canceled run yields ErrCanceled, never a verdict.
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return nil, canceled(opts.Ctx)
+		}
+		if ws != nil {
+			verdict.AmpleHits, verdict.SleepSkips, verdict.SymmetryFolds = ws.cAmple, ws.cSleep, ws.cSym
 		}
 		verdict.Elapsed = time.Since(start)
 		return verdict, nil
@@ -106,6 +119,11 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		verdict.AssertFail = fail
 		return finish()
 	}
+	var red *reducer
+	if opts.Reduce {
+		red = newReducer(program, p, nil)
+	}
+	useSleep := red != nil && !opts.HashCompact && red.nT <= maxSleepThreads
 	var store *explore.Store
 	if opts.HashCompact {
 		store = explore.NewHashCompactStore()
@@ -113,7 +131,10 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 		store = explore.NewStore()
 	}
 	var queue explore.Queue[[]byte]
-	ws := newSCScratch(p, program)
+	ws = newSCScratch(p, program)
+	if red != nil {
+		ws.perm = make([]uint8, red.nT)
+	}
 	m0 := memsc.New(program.NumLocs())
 	rootKey := ws.encode(p, ps0, m0)
 	root, _ := store.AddBytes(rootKey, -1, explore.Step{})
@@ -128,19 +149,27 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 	}
 	expanded := int64(0)
 	next := int32(0)
+	// requeue holds states whose sleep mask strictly shrank on a revisit
+	// (see Verify).
+	var requeue []int32
 	for {
 		var item explore.QItem[[]byte]
+		requeued := false
 		if opts.HashCompact {
 			var ok bool
 			if item, ok = queue.Pop(); !ok {
 				break
 			}
-		} else {
-			if int(next) >= store.Len() {
-				break
-			}
+		} else if int(next) < store.Len() {
 			item = explore.QItem[[]byte]{ID: next, St: store.KeyBytes(next)}
 			next++
+		} else if n := len(requeue); n > 0 {
+			id := requeue[n-1]
+			requeue = requeue[:n-1]
+			item = explore.QItem[[]byte]{ID: id, St: store.KeyBytes(id)}
+			requeued = true
+		} else {
+			break
 		}
 		if opts.MaxStates > 0 && store.Len() > opts.MaxStates {
 			return nil, ErrStateBound
@@ -158,8 +187,29 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 			ws.mem[i] = lang.Val(itemKey[n+i])
 		}
 		p.OpsInto(ws.ops, ws.cur)
+		ampleT := -1
+		if red != nil {
+			ampleT = red.ample(ws.mem, ws.cur, ws.nxt, ws.ops)
+			if ampleT >= 0 && !requeued {
+				ws.cAmple++
+			}
+		}
+		var sleepZ, expandedSoFar uint64
+		if useSleep {
+			sleepZ = store.Sleep(item.ID)
+		}
 		for t, op := range ws.ops {
 			if op.Kind == prog.OpNone {
+				continue
+			}
+			if ampleT >= 0 {
+				if t != ampleT {
+					continue
+				}
+			} else if useSleep && sleepZ>>t&1 != 0 {
+				if !requeued {
+					ws.cSleep++
+				}
 				continue
 			}
 			label, enabled := prog.SCLabel(op, ws.mem[op.Loc], program.ValCount)
@@ -172,14 +222,35 @@ func VerifySC(program *lang.Program, opts Options) (*SCVerdict, error) {
 				verdict.States = store.Len()
 				return finish()
 			}
+			var cz uint64
+			if useSleep {
+				cz = childSleep(ws.ops, t, sleepZ|expandedSoFar)
+			}
+			expandedSoFar |= uint64(1) << t
 			savedTS := ws.cur.Threads[t]
 			savedVal := ws.mem[op.Loc]
 			ws.cur.Threads[t] = ws.nxt.Threads[t]
 			ws.mem.Step(label)
-			key := ws.encode(p, ws.cur, ws.mem)
+			var key []byte
+			if red != nil && red.symm() && !red.canonPerm(ws.cur, nil, ws.perm) {
+				if !requeued {
+					ws.cSym++
+				}
+				cz = permuteMask(cz, ws.perm)
+				ws.keyBuf = ws.keyBuf[:0]
+				ws.keyBuf = p.EncodeStatePerm(ws.keyBuf, ws.cur, ws.perm)
+				ws.keyBuf = ws.mem.Encode(ws.keyBuf)
+				key = ws.keyBuf
+			} else {
+				key = ws.encode(p, ws.cur, ws.mem)
+			}
 			ws.cur.Threads[t] = savedTS
 			ws.mem[op.Loc] = savedVal
-			if id, isNew := store.AddBytes(key, -1, explore.Step{}); isNew && opts.HashCompact {
+			if useSleep {
+				if id, _, shrunk := store.AddBytesSleep(key, -1, explore.Step{}, cz); shrunk && id < next {
+					requeue = append(requeue, id)
+				}
+			} else if id, isNew := store.AddBytes(key, -1, explore.Step{}); isNew && opts.HashCompact {
 				queue.Push(id, ws.pushPayload(true, key))
 			}
 		}

@@ -8,6 +8,12 @@
 //     in parallel, in hash-compact mode, and with full (non-abstract)
 //     critical values: all four must return the same verdict, and the
 //     exact-mode runs must agree on state counts when robust.
+//   - Partial-order reduction (core.Options.Reduce: ample sets, sleep
+//     sets, thread symmetry) run sequentially and in parallel: verdicts
+//     must match the unreduced reference, the reduced state count can
+//     never exceed the unreduced one, the two reduced runs must agree
+//     exactly on robust programs, and every non-robust reduced verdict's
+//     (symmetry-concretized) trace must replay under instrumented SC.
 //   - RA timestamp machine (internal/staterobust, §3): execution-graph
 //     robustness implies state robustness (Proposition 4.10), so the two
 //     routes are related by an implication, not an equivalence — a
@@ -317,6 +323,41 @@ func runBattery(r *Report, p *lang.Program, src string, cfg Config) {
 				r.addf("prune-parity", src, "pruned sequential robust=%v, pruned parallel robust=%v", pr.Robust, pp.Robust)
 			} else if pr.Robust && pr.States != pp.States {
 				r.addf("prune-parity", src, "pruned exact state counts differ on a robust program: sequential %d, parallel %d", pr.States, pp.States)
+			}
+		}
+	}
+
+	// Partial-order reduction parity: ample sets, sleep sets, and thread
+	// symmetry must never change a verdict, never enlarge the explored set,
+	// and must stay worker-count-deterministic (sleep sets elide edges, not
+	// states). A non-robust reduced verdict carries a concretized trace —
+	// symmetry canonicalization permutes thread identities mid-trace — so
+	// replaying it under instrumented SC also checks the concretization.
+	redOpts := base
+	redOpts.Reduce = true
+	if rd, ok := verify("reduce", p, redOpts); ok && seqOK {
+		if seq.Robust != rd.Robust {
+			r.addf("reduce-parity", src, "unreduced robust=%v, reduced robust=%v (partial-order reduction must preserve the verdict)", seq.Robust, rd.Robust)
+		} else if seq.Robust && rd.States > seq.States {
+			r.addf("reduce-parity", src, "reduced run explored more states (%d) than the unreduced run (%d)", rd.States, seq.States)
+		}
+		if !rd.Robust {
+			if err := replaySC(p, rd, true, false); err != nil {
+				r.addf("witness-replay-scm", src, "reduced-run witness does not replay: %v", err)
+			}
+		}
+		rdParOpts := redOpts
+		rdParOpts.Workers = cfg.parWorkers()
+		if rp, ok := verify("reduce-par", p, rdParOpts); ok {
+			if rd.Robust != rp.Robust {
+				r.addf("reduce-parity", src, "reduced sequential robust=%v, reduced parallel robust=%v", rd.Robust, rp.Robust)
+			} else if rd.Robust && rd.States != rp.States {
+				r.addf("reduce-parity", src, "reduced exact state counts differ on a robust program: sequential %d, parallel %d", rd.States, rp.States)
+			}
+			if !rp.Robust {
+				if err := replaySC(p, rp, true, false); err != nil {
+					r.addf("witness-replay-scm", src, "reduced-parallel witness does not replay: %v", err)
+				}
 			}
 		}
 	}

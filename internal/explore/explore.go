@@ -34,10 +34,18 @@ func (k Internal) String() string {
 
 // Step is one transition of a run: a thread performing a labelled action.
 // Internal actions (e.g. TSO flushes) set Internal to a non-IntNone tag.
+//
+// Perm, when nonzero, is the packed thread-symmetry permutation the
+// partial-order reduction applied when canonicalizing the step's *target*
+// state (packed and interpreted by internal/core; 0 = identity, so
+// non-reduced explorers never touch it). Trace reconstruction composes
+// these per-step permutations to concretize a canonical-quotient trace
+// back into a run of the original program.
 type Step struct {
 	Tid      lang.Tid
 	Lab      lang.Label
 	Internal Internal
+	Perm     uint32
 }
 
 // grown returns s with room to append at least one more element, doubling

@@ -40,6 +40,9 @@ type shard struct {
 	mask   uint64
 	parent []int64
 	step   []Step
+	// sleep holds per-state thread masks for sleep-set exploration
+	// (AddSleep), indexed by local id; absent entries read as 0.
+	sleep []uint64
 }
 
 // shardMinTable is the initial per-shard slot-table size (a power of two);
@@ -67,14 +70,29 @@ func NewSharded(hashCompact bool) *Sharded {
 // always already-interned states. The key is copied (into the shard's
 // arena) only when new, so callers may reuse the backing buffer.
 func (s *Sharded) Add(key []byte, parent int64, step Step) (int64, bool) {
+	id, isNew, _ := s.add(key, parent, step, 0, false)
+	return id, isNew
+}
+
+// AddSleep is Add for sleep-set exploration, with the same contract as
+// Store.AddBytesSleep: a new state stores the incoming thread mask, a
+// revisit intersects it into the stored mask, and shrunk=true tells the
+// caller to re-expand the state. The mask update happens under the shard
+// lock, so concurrent contributions never lose intersections.
+func (s *Sharded) AddSleep(key []byte, parent int64, step Step, sleep uint64) (id int64, isNew, shrunk bool) {
+	return s.add(key, parent, step, sleep, true)
+}
+
+func (s *Sharded) add(key []byte, parent int64, step Step, sleep uint64, useSleep bool) (int64, bool, bool) {
 	h := Hash128(key)
 	si := h[0] & shardMask
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	if s.hashCompact {
 		if local, ok := sh.hashed[h]; ok {
+			shrunk := sh.mergeSleep(local, sleep, useSleep)
 			sh.mu.Unlock()
-			return int64(local)<<shardBits | int64(si), false
+			return int64(local)<<shardBits | int64(si), false, shrunk
 		}
 		sh.hashed[h] = int32(len(sh.parent))
 	} else {
@@ -94,18 +112,54 @@ func (s *Sharded) Add(key []byte, parent int64, step Step) (int64, bool) {
 			}
 			if sl.h == h[1] && bytes.Equal(sh.arena.bytes(sh.refs[sl.id-1]), key) {
 				local := sl.id - 1
+				shrunk := sh.mergeSleep(local, sleep, useSleep)
 				sh.mu.Unlock()
-				return int64(local)<<shardBits | int64(si), false
+				return int64(local)<<shardBits | int64(si), false, shrunk
 			}
 			i = (i + 1) & sh.mask
 		}
 	}
 	local := int64(len(sh.parent))
+	if useSleep {
+		sh.ensureSleep(int(local) + 1)
+		sh.sleep[local] = sleep
+	}
 	sh.parent = append(grown(sh.parent), parent)
 	sh.step = append(grown(sh.step), step)
 	sh.mu.Unlock()
 	s.count.Add(1)
-	return local<<shardBits | int64(si), true
+	return local<<shardBits | int64(si), true, false
+}
+
+func (sh *shard) ensureSleep(n int) {
+	for len(sh.sleep) < n {
+		sh.sleep = append(grown(sh.sleep), 0)
+	}
+}
+
+func (sh *shard) mergeSleep(local int32, sleep uint64, useSleep bool) bool {
+	if !useSleep {
+		return false
+	}
+	sh.ensureSleep(int(local) + 1)
+	old := sh.sleep[local]
+	if ns := old & sleep; ns != old {
+		sh.sleep[local] = ns
+		return true
+	}
+	return false
+}
+
+// Sleep returns the current sleep mask of state id (0 if never set).
+func (s *Sharded) Sleep(id int64) uint64 {
+	sh := &s.shards[id&shardMask]
+	local := id >> shardBits
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if int(local) < len(sh.sleep) {
+		return sh.sleep[local]
+	}
+	return 0
 }
 
 func (sh *shard) grow() {

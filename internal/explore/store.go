@@ -32,6 +32,10 @@ type Store struct {
 
 	parent []int32
 	step   []Step
+	// sleep holds per-state thread masks for sleep-set exploration
+	// (AddBytesSleep); grown lazily, absent entries read as 0 ("no thread
+	// asleep", the conservative bottom that never suppresses an edge).
+	sleep []uint64
 }
 
 // slot is one open-addressing table entry: the key's 64-bit probe digest
@@ -71,33 +75,88 @@ func (s *Store) Add(key string, parent int32, step Step) (int32, bool) {
 // key is only copied (into the arena) when the state is new and the store
 // is exact, so callers may reuse the backing buffer between calls.
 func (s *Store) AddBytes(key []byte, parent int32, step Step) (int32, bool) {
+	id, isNew, _ := s.addBytes(key, parent, step, 0, false)
+	return id, isNew
+}
+
+// AddBytesSleep is AddBytes for sleep-set exploration: sleep is the thread
+// mask the arriving edge justifies putting to sleep at the target state. A
+// new state stores the mask verbatim; a revisit intersects the stored mask
+// with the incoming one (the standard fixpoint discipline for sleep sets
+// on non-tree state graphs). shrunk reports that the stored mask strictly
+// decreased — the caller must then re-expand the state so transitions no
+// longer justified as redundant get explored.
+func (s *Store) AddBytesSleep(key []byte, parent int32, step Step, sleep uint64) (id int32, isNew, shrunk bool) {
+	return s.addBytes(key, parent, step, sleep, true)
+}
+
+func (s *Store) addBytes(key []byte, parent int32, step Step, sleep uint64, useSleep bool) (int32, bool, bool) {
 	h := Hash128(key)
 	if s.hashed != nil {
 		if id, ok := s.hashed[h]; ok {
-			return id, false
+			return id, false, s.mergeSleep(id, sleep, useSleep)
 		}
 		id := s.push(parent, step)
+		s.setSleep(id, sleep, useSleep)
 		s.hashed[h] = id
-		return id, true
+		return id, true, false
 	}
 	i := h[0] & s.mask
 	for {
 		sl := &s.table[i]
 		if sl.id == 0 {
 			id := s.push(parent, step)
+			s.setSleep(id, sleep, useSleep)
 			s.refs = append(grown(s.refs), s.arena.intern(key))
 			sl.h = h[0]
 			sl.id = id + 1
 			if uint64(len(s.refs))*4 > (s.mask+1)*3 {
 				s.grow()
 			}
-			return id, true
+			return id, true, false
 		}
 		if sl.h == h[0] && bytes.Equal(s.arena.bytes(s.refs[sl.id-1]), key) {
-			return sl.id - 1, false
+			id := sl.id - 1
+			return id, false, s.mergeSleep(id, sleep, useSleep)
 		}
 		i = (i + 1) & s.mask
 	}
+}
+
+// ensureSleep grows the sleep slice to cover ids < n with zero masks.
+func (s *Store) ensureSleep(n int) {
+	for len(s.sleep) < n {
+		s.sleep = append(grown(s.sleep), 0)
+	}
+}
+
+func (s *Store) setSleep(id int32, sleep uint64, useSleep bool) {
+	if !useSleep {
+		return
+	}
+	s.ensureSleep(int(id) + 1)
+	s.sleep[id] = sleep
+}
+
+func (s *Store) mergeSleep(id int32, sleep uint64, useSleep bool) bool {
+	if !useSleep {
+		return false
+	}
+	s.ensureSleep(int(id) + 1)
+	old := s.sleep[id]
+	if ns := old & sleep; ns != old {
+		s.sleep[id] = ns
+		return true
+	}
+	return false
+}
+
+// Sleep returns the current sleep mask of state id (0 if never set).
+func (s *Store) Sleep(id int32) uint64 {
+	if int(id) < len(s.sleep) {
+		return s.sleep[id]
+	}
+	return 0
 }
 
 // grow doubles the slot table, reinserting by the cached digests (all keys

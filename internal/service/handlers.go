@@ -35,6 +35,13 @@ type VerifyRequest struct {
 	// states, and locations outside every dangerous cycle are dropped
 	// from monitor instrumentation. Verdicts are unchanged.
 	StaticPrune bool `json:"staticPrune,omitempty"`
+	// Reduce turns on the partial-order reduction layer: ample sets,
+	// sleep sets, and thread-symmetry canonicalization for the
+	// execution-graph modes (core.Options.Reduce), symmetry folding of the
+	// projection sets for the state-* modes (staterobust.Limits.Reduce).
+	// Verdicts are unchanged; state counts shrink, so reduced and
+	// unreduced runs memoize under distinct cache keys.
+	Reduce bool `json:"reduce,omitempty"`
 }
 
 // errorJSON is every non-2xx body. Line/Col are set for parse errors.
@@ -105,6 +112,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !req.StaticPrune {
 		req.StaticPrune = q.Get("prune") == "1" || q.Get("prune") == "true"
 	}
+	if !req.Reduce {
+		req.Reduce = q.Get("reduce") == "1" || q.Get("reduce") == "true"
+	}
 	if req.Mode == "" {
 		req.Mode = ModeRA
 	}
@@ -143,7 +153,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
-	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout, req.StaticPrune)
+	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
 	switch outcome {
 	case submitCached:
 		writeJSON(w, http.StatusOK, struct {

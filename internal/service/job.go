@@ -71,9 +71,16 @@ type Result struct {
 	// program with zero exploration; PrunedLocs counts locations dropped
 	// from monitor instrumentation; CritSharpened reports that constant
 	// propagation shrank some critical-value set.
-	Certificate   bool    `json:"certificate,omitempty"`
-	PrunedLocs    int     `json:"prunedLocs,omitempty"`
-	CritSharpened bool    `json:"critSharpened,omitempty"`
+	Certificate   bool `json:"certificate,omitempty"`
+	PrunedLocs    int  `json:"prunedLocs,omitempty"`
+	CritSharpened bool `json:"critSharpened,omitempty"`
+	// Partial-order reduction counters (execution-graph modes with reduce
+	// set): ample-set expansions taken, sleep-set edge skips, and states
+	// folded onto a symmetric representative. AmpleHits is deterministic;
+	// the other two depend on expansion order.
+	AmpleHits     int64   `json:"ampleHits,omitempty"`
+	SleepSkips    int64   `json:"sleepSkips,omitempty"`
+	SymmetryFolds int64   `json:"symmetryFolds,omitempty"`
 	ElapsedMs     float64 `json:"elapsedMs"`
 }
 
@@ -91,6 +98,7 @@ type job struct {
 	workers     int
 	timeout     time.Duration
 	staticPrune bool
+	reduce      bool
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -230,6 +238,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 			MaxStates:    j.maxStates,
 			Workers:      j.workers,
 			StaticPrune:  j.staticPrune,
+			Reduce:       j.reduce,
 			Ctx:          ctx,
 			Progress: func(p core.Progress) {
 				j.states.Store(int64(p.States))
@@ -245,10 +254,13 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 				return nil, err
 			}
 			res := &Result{
-				Mode:      j.mode,
-				Robust:    sv.AssertFail == nil,
-				States:    sv.States,
-				ElapsedMs: msSince(start),
+				Mode:          j.mode,
+				Robust:        sv.AssertFail == nil,
+				States:        sv.States,
+				AmpleHits:     sv.AmpleHits,
+				SleepSkips:    sv.SleepSkips,
+				SymmetryFolds: sv.SymmetryFolds,
+				ElapsedMs:     msSince(start),
 			}
 			if sv.AssertFail != nil {
 				res.AssertFail = sv.AssertFail.Error()
@@ -270,6 +282,9 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 			Certificate:   v.Certificate,
 			PrunedLocs:    v.PrunedLocs,
 			CritSharpened: v.CritSharpened,
+			AmpleHits:     v.AmpleHits,
+			SleepSkips:    v.SleepSkips,
+			SymmetryFolds: v.SymmetryFolds,
 			ElapsedMs:     msSince(start),
 		}
 		if v.AssertFail != nil {
@@ -281,6 +296,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 		lim := staterobust.Limits{
 			MaxStates: j.maxStates,
 			Workers:   j.workers,
+			Reduce:    j.reduce,
 			Ctx:       ctx,
 			Progress: func(explored int) {
 				j.states.Store(int64(explored))

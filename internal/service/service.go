@@ -185,9 +185,9 @@ const (
 
 // submit admits a verification request: cache hit, enqueued job, or
 // rejection. req must already be validated.
-func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration, staticPrune bool) (*job, *Result, submitOutcome) {
+func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration, staticPrune, reduce bool) (*job, *Result, submitOutcome) {
 	d := prog.CanonicalDigest(p)
-	key := s.cacheKey(d, mode, maxStates, staticPrune)
+	key := s.cacheKey(d, mode, maxStates, staticPrune, reduce)
 	if res := s.cache.get(key); res != nil {
 		return nil, res, submitCached
 	}
@@ -202,6 +202,7 @@ func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout tim
 		workers:     s.cfg.Workers,
 		timeout:     timeout,
 		staticPrune: staticPrune,
+		reduce:      reduce,
 		ctx:         ctx,
 		cancel:      cancel,
 		created:     time.Now(),
@@ -257,14 +258,17 @@ func (s *Server) retire(id string) {
 // cacheKey derives the verdict-cache key. The digest captures the LTS;
 // mode and the effective state bound are the only request knobs that can
 // change a verdict (engine worker counts cannot, by the engines'
-// determinism contract). Static pruning never changes a verdict either,
-// but it does change the reported state count and the result's
-// certificate/prunedLocs fields, so pruned and unpruned runs memoize
-// under distinct keys.
-func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int, staticPrune bool) string {
+// determinism contract). Static pruning and partial-order reduction never
+// change a verdict either, but they do change the reported state counts
+// and the result's certificate/prunedLocs/reduction-counter fields, so
+// each combination memoizes under its own key.
+func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int, staticPrune, reduce bool) string {
 	p := 0
 	if staticPrune {
 		p = 1
+	}
+	if reduce {
+		p |= 2
 	}
 	return fmt.Sprintf("%s|%s|%d|%d", d, mode, maxStates, p)
 }

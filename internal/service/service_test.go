@@ -496,3 +496,52 @@ func TestJobNotFound(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceOption exercises the reduce request knob end to end: the
+// reduced run must agree on the verdict while exploring strictly fewer
+// states (seqlock has a symmetric reader pair and a read-only phase), the
+// result must carry the reduction counters, and the two runs must memoize
+// under distinct cache keys.
+func TestReduceOption(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxJobs: 2, Workers: 2})
+
+	verify := func(src string, reduce bool) *service.Result {
+		resp, body := postJSON(t, ts.URL, service.VerifyRequest{Source: src, Wait: true, Reduce: reduce})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("code=%d body=%s", resp.StatusCode, body)
+		}
+		var snap service.Snapshot
+		if err := json.Unmarshal(body, &snap); err == nil && snap.Result != nil {
+			return snap.Result
+		}
+		var cached struct {
+			Result *service.Result `json:"result"`
+		}
+		if err := json.Unmarshal(body, &cached); err != nil || cached.Result == nil {
+			t.Fatalf("bad body: %s", body)
+		}
+		return cached.Result
+	}
+
+	src := corpusSource(t, "seqlock")
+	base := verify(src, false)
+	if !base.Robust || base.States == 0 {
+		t.Fatalf("unreduced seqlock: %+v, want robust via exploration", base)
+	}
+	if base.AmpleHits != 0 || base.SleepSkips != 0 || base.SymmetryFolds != 0 {
+		t.Fatalf("unreduced seqlock carries reduction counters: %+v", base)
+	}
+	red := verify(src, true)
+	if !red.Robust || red.States >= base.States {
+		t.Fatalf("reduced seqlock: %+v, want robust with < %d states", red, base.States)
+	}
+	if red.AmpleHits == 0 && red.SleepSkips == 0 && red.SymmetryFolds == 0 {
+		t.Fatalf("reduced seqlock reports no reduction activity: %+v", red)
+	}
+
+	// Re-submitting the unreduced request must still see the full numbers.
+	again := verify(src, false)
+	if again.States != base.States {
+		t.Fatalf("unreduced resubmission: %+v, want the cached full result %+v", again, base)
+	}
+}

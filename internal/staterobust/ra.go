@@ -131,14 +131,24 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 		weak      = map[string]struct{}{}
 		witnessID = int64(-1)
 		bound     bool
+		sy        = lim.symmetry(p)
+		symBuf    []byte
 	)
 	// check records the program state of a newly interned compound state
 	// and reports whether it witnesses non-robustness (reachable weakly
-	// but not under SC).
+	// but not under SC). The symmetry canonicalizer's scratch is shared, so
+	// with Reduce the projection key is built under the mutex.
 	check := func(id int64, ps prog.State) bool {
-		pk := p.StateKeyRaw(ps)
+		var pk string
+		if sy == nil {
+			pk = p.StateKeyRaw(ps)
+		}
 		mu.Lock()
 		defer mu.Unlock()
+		if sy != nil {
+			symBuf = p.EncodeStateRaw(symBuf[:0], ps)
+			pk = string(sy.CanonRaw(symBuf))
+		}
 		if _, ok := weak[pk]; ok {
 			return false
 		}

@@ -86,3 +86,49 @@ func TestSCSubsetOfWeak(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceSymmetryFold checks Limits.Reduce: on programs with
+// interchangeable threads the verdict must be unchanged (both projection
+// sets are closed under the class permutations) while the canonical state
+// counts shrink; on asymmetric programs the counts are untouched.
+func TestReduceSymmetryFold(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		symmetric bool
+	}{
+		{"dcl", true},  // two identical double-checked-init threads
+		{"2RMW", true}, // two identical fetch-and-adds
+		{"SB", false},  // distinct stores
+		{"MP", false},
+		{"peterson-sc", false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			e, err := litmus.Get(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := e.Program()
+			plain, err := staterobust.CheckRA(p, staterobust.Limits{MaxStates: 3_000_000})
+			if err != nil {
+				t.Fatalf("CheckRA: %v", err)
+			}
+			red, err := staterobust.CheckRA(p, staterobust.Limits{MaxStates: 3_000_000, Reduce: true})
+			if err != nil {
+				t.Fatalf("CheckRA(reduce): %v", err)
+			}
+			if red.Robust != plain.Robust {
+				t.Errorf("reduced verdict = %v, plain = %v", red.Robust, plain.Robust)
+			}
+			if tc.symmetric {
+				if plain.Robust && red.WeakStates >= plain.WeakStates {
+					t.Errorf("expected canonical fold: weak %d vs plain %d", red.WeakStates, plain.WeakStates)
+				}
+			} else if red.SCStates != plain.SCStates || (plain.Robust && red.WeakStates != plain.WeakStates) {
+				t.Errorf("asymmetric program folded: sc %d/%d weak %d/%d",
+					red.SCStates, plain.SCStates, red.WeakStates, plain.WeakStates)
+			}
+		})
+	}
+}

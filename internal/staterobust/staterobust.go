@@ -59,6 +59,24 @@ type Limits struct {
 	// compound states with the running count. It may be invoked from
 	// worker goroutines concurrently and must be cheap and goroutine-safe.
 	Progress func(explored int)
+	// Reduce folds program states related by thread symmetry (permutations
+	// of byte-identical threads, prog.SymClasses) before comparing the SC
+	// and weak reachable sets. The verdict is unchanged — both sets are
+	// closed under the same permutations — but SCStates and WeakStates then
+	// count canonical representatives, not raw program states. Only the
+	// projection sets are folded; the compound-state exploration itself is
+	// not reduced (the weak memories are thread-indexed and are not
+	// canonicalized here).
+	Reduce bool
+}
+
+// symmetry returns the program's thread symmetry when Reduce is on and at
+// least two threads are interchangeable, else nil.
+func (l Limits) symmetry(p *prog.P) *prog.Symmetry {
+	if !l.Reduce {
+		return nil
+	}
+	return prog.NewSymmetry(p)
 }
 
 func (l Limits) maxStates() int {
@@ -101,7 +119,8 @@ type Result struct {
 	// cannot reach (when not robust).
 	WitnessTrace []explore.Step
 	// SCStates and WeakStates count distinct *program* states (not
-	// compound states) reached under each model.
+	// compound states) reached under each model; with Limits.Reduce they
+	// count canonical representatives under thread symmetry instead.
 	SCStates, WeakStates int
 	// Explored counts compound states explored under the weak model.
 	Explored int
@@ -128,15 +147,23 @@ func ReachableSC(program *lang.Program, lim Limits) (map[string]struct{}, error)
 	}
 	ps0 := p.InitStateRaw()
 	m0 := memsc.New(program.NumLocs())
+	sy := lim.symmetry(p)
 	seen := map[string]struct{}{}
 	reach := map[string]struct{}{}
 	var queue []node
-	var buf []byte
+	var buf, kbuf []byte
 	key := func(ps prog.State, m memsc.Memory) string {
 		buf = buf[:0]
 		buf = p.EncodeStateRaw(buf, ps)
 		buf = m.Encode(buf)
 		return string(buf)
+	}
+	projKey := func(ps prog.State) string {
+		if sy == nil {
+			return p.StateKeyRaw(ps)
+		}
+		kbuf = p.EncodeStateRaw(kbuf[:0], ps)
+		return string(sy.CanonRaw(kbuf))
 	}
 	push := func(ps prog.State, m memsc.Memory) {
 		k := key(ps, m)
@@ -144,7 +171,7 @@ func ReachableSC(program *lang.Program, lim Limits) (map[string]struct{}, error)
 			return
 		}
 		seen[k] = struct{}{}
-		reach[p.StateKeyRaw(ps)] = struct{}{}
+		reach[projKey(ps)] = struct{}{}
 		queue = append(queue, node{ps, m})
 	}
 	push(ps0, m0)

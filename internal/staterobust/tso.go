@@ -47,8 +47,16 @@ func CheckTSO(program *lang.Program, lim Limits) (*Result, error) {
 		buf = m.Encode(buf)
 		return buf
 	}
+	sy := lim.symmetry(p)
+	var symBuf []byte
 	check := func(id int32, ps prog.State) bool {
-		pk := p.StateKeyRaw(ps)
+		var pk string
+		if sy == nil {
+			pk = p.StateKeyRaw(ps)
+		} else {
+			symBuf = p.EncodeStateRaw(symBuf[:0], ps)
+			pk = string(sy.CanonRaw(symBuf))
+		}
 		if _, ok := weak[pk]; !ok {
 			weak[pk] = struct{}{}
 			if _, ok := scSet[pk]; !ok {
