@@ -1,0 +1,353 @@
+// Command loadgen drives a seeded, reproducible request stream against a
+// rockerd node or cluster and reports throughput, latency percentiles,
+// and where the verdicts came from: explored, memory cache, disk store,
+// or a cluster peer. The stream is internal/gen's deterministic program
+// mix; -dup dials the share of digest-equal renamed duplicates, which is
+// exactly the cache-hit-rate dial (see internal/gen.Stream).
+//
+// Usage:
+//
+//	loadgen -targets http://h1:8723,http://h2:8724,http://h3:8725 \
+//	        -n 300 -c 8 -dup 30 -seed 1 [-mode ra] [-batch 0] \
+//	        [-timeout 30s] [-json BENCH_cluster.json]
+//
+// Requests round-robin over the targets. With -batch B > 0, requests are
+// grouped into POST /v1/verify/batch calls of B items each instead of
+// individual wait-mode verifies. Before and after the run, each target's
+// /v1/stats is sampled and the per-source counter deltas are reported —
+// the server-side truth to cross-check the client-side tallies.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+)
+
+type verifyReply struct {
+	Cached bool   `json:"cached"`
+	Source string `json:"source"`
+	Status string `json:"status"`
+	Result *struct {
+		Robust bool `json:"robust"`
+		States int  `json:"states"`
+	} `json:"result"`
+	Error string `json:"error"`
+}
+
+type serverStats struct {
+	Submitted    int64  `json:"submitted"`
+	MemoryHits   int64  `json:"memoryHits"`
+	DiskHits     int64  `json:"diskHits"`
+	PeerForwards int64  `json:"peerForwards"`
+	ForwardFails int64  `json:"forwardFails"`
+	Steals       int64  `json:"steals"`
+	Stolen       int64  `json:"stolen"`
+	BatchItems   int64  `json:"batchItems"`
+	Node         string `json:"node"`
+}
+
+type targetDelta struct {
+	Target       string `json:"target"`
+	Node         string `json:"node,omitempty"`
+	Submitted    int64  `json:"submitted"`
+	MemoryHits   int64  `json:"memoryHits"`
+	DiskHits     int64  `json:"diskHits"`
+	PeerForwards int64  `json:"peerForwards"`
+	ForwardFails int64  `json:"forwardFails"`
+	Steals       int64  `json:"steals"`
+	Stolen       int64  `json:"stolen"`
+	BatchItems   int64  `json:"batchItems"`
+}
+
+type report struct {
+	Targets     []string `json:"targets"`
+	Requests    int      `json:"requests"`
+	Concurrency int      `json:"concurrency"`
+	DupPercent  int      `json:"dupPercent"`
+	Seed        uint64   `json:"seed"`
+	Mode        string   `json:"mode"`
+	BatchSize   int      `json:"batchSize,omitempty"`
+
+	ElapsedSec float64 `json:"elapsedSec"`
+	PerSec     float64 `json:"perSec"`
+
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+
+	Done         int `json:"done"`
+	Canceled     int `json:"canceled"`
+	Failed       int `json:"failed"`
+	Errors       int `json:"errors"`
+	CachedMemory int `json:"cachedMemory"`
+	CachedDisk   int `json:"cachedDisk"`
+	CachedPeer   int `json:"cachedPeer"`
+
+	Servers []targetDelta `json:"servers"`
+}
+
+type tally struct {
+	mu        sync.Mutex
+	latencies []float64
+	rep       *report
+}
+
+func (tl *tally) observe(latMs float64, status, cached string) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.latencies = append(tl.latencies, latMs)
+	switch status {
+	case "done":
+		tl.rep.Done++
+	case "canceled":
+		tl.rep.Canceled++
+	case "failed":
+		tl.rep.Failed++
+	default:
+		tl.rep.Errors++
+	}
+	switch cached {
+	case "memory":
+		tl.rep.CachedMemory++
+	case "disk":
+		tl.rep.CachedDisk++
+	case "peer":
+		tl.rep.CachedPeer++
+	}
+}
+
+func main() {
+	targetsFlag := flag.String("targets", "http://localhost:8723", "comma-separated rockerd base URLs")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent in-flight requests (or batches)")
+	dup := flag.Int("dup", 30, "percent of requests that are digest-equal renamed duplicates")
+	seed := flag.Uint64("seed", 1, "stream seed (same seed + n reproduces the traffic)")
+	mode := flag.String("mode", "ra", "verification mode for every request")
+	batch := flag.Int("batch", 0, "items per /v1/verify/batch call (0 = individual wait-mode verifies)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request verification deadline")
+	jsonPath := flag.String("json", "", "write the report as JSON to this path")
+	flag.Parse()
+
+	targets := strings.Split(*targetsFlag, ",")
+	for i := range targets {
+		targets[i] = strings.TrimRight(strings.TrimSpace(targets[i]), "/")
+	}
+	stream := gen.NewStream(
+		gen.New(gen.Config{Seed: *seed, NoExtras: true}),
+		gen.StreamConfig{Seed: *seed, DupPercent: *dup},
+	)
+	client := &http.Client{}
+	rep := &report{
+		Targets: targets, Requests: *n, Concurrency: *c,
+		DupPercent: *dup, Seed: *seed, Mode: *mode, BatchSize: *batch,
+	}
+	tl := &tally{rep: rep}
+
+	before := make([]serverStats, len(targets))
+	for i, tgt := range targets {
+		before[i] = fetchStats(client, tgt)
+	}
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if *batch > 0 {
+				for i := range idx {
+					runBatch(client, targets[i%len(targets)], stream, i, min(*batch, *n-i), *mode, *timeout, tl)
+				}
+			} else {
+				for i := range idx {
+					runOne(client, targets[i%len(targets)], stream, i, *mode, *timeout, tl)
+				}
+			}
+		}()
+	}
+	step := 1
+	if *batch > 0 {
+		step = *batch
+	}
+	for i := 0; i < *n; i += step {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.PerSec = float64(*n) / rep.ElapsedSec
+	}
+
+	sort.Float64s(tl.latencies)
+	rep.P50Ms = percentile(tl.latencies, 50)
+	rep.P90Ms = percentile(tl.latencies, 90)
+	rep.P99Ms = percentile(tl.latencies, 99)
+	if len(tl.latencies) > 0 {
+		rep.MaxMs = tl.latencies[len(tl.latencies)-1]
+	}
+	for i, tgt := range targets {
+		after := fetchStats(client, tgt)
+		rep.Servers = append(rep.Servers, targetDelta{
+			Target:       tgt,
+			Node:         after.Node,
+			Submitted:    after.Submitted - before[i].Submitted,
+			MemoryHits:   after.MemoryHits - before[i].MemoryHits,
+			DiskHits:     after.DiskHits - before[i].DiskHits,
+			PeerForwards: after.PeerForwards - before[i].PeerForwards,
+			ForwardFails: after.ForwardFails - before[i].ForwardFails,
+			Steals:       after.Steals - before[i].Steals,
+			Stolen:       after.Stolen - before[i].Stolen,
+			BatchItems:   after.BatchItems - before[i].BatchItems,
+		})
+	}
+
+	fmt.Printf("loadgen: %d requests over %d targets in %.2fs (%.1f/s), dup %d%%\n",
+		*n, len(targets), rep.ElapsedSec, rep.PerSec, *dup)
+	fmt.Printf("  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+	fmt.Printf("  outcomes: done %d  canceled %d  failed %d  errors %d\n",
+		rep.Done, rep.Canceled, rep.Failed, rep.Errors)
+	fmt.Printf("  served from: memory %d  disk %d  peer %d  explored %d\n",
+		rep.CachedMemory, rep.CachedDisk, rep.CachedPeer,
+		rep.Done-rep.CachedMemory-rep.CachedDisk-rep.CachedPeer)
+	for _, sv := range rep.Servers {
+		fmt.Printf("  %s (%s): +%d jobs, +%d mem, +%d disk, +%d fwd, +%d steals, +%d stolen\n",
+			sv.Target, sv.Node, sv.Submitted, sv.MemoryHits, sv.DiskHits,
+			sv.PeerForwards, sv.Steals, sv.Stolen)
+	}
+	if rep.Errors > 0 {
+		defer os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+	}
+}
+
+func runOne(client *http.Client, target string, stream *gen.Stream, i int, mode string, timeout time.Duration, tl *tally) {
+	src, _ := stream.Request(i)
+	body, _ := json.Marshal(map[string]any{
+		"source": src, "mode": mode, "wait": true,
+		"timeoutMs": timeout.Milliseconds(),
+	})
+	start := time.Now()
+	resp, err := client.Post(target+"/v1/verify", "application/json", bytes.NewReader(body))
+	lat := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		tl.observe(lat, "error", "")
+		return
+	}
+	defer resp.Body.Close()
+	var vr verifyReply
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&vr) != nil {
+		tl.observe(lat, "error", "")
+		return
+	}
+	status := vr.Status
+	if vr.Cached {
+		status = "done"
+	}
+	cached := vr.Source
+	if vr.Cached && resp.Header.Get("X-Rocker-Owner") != "" {
+		// Served by the owning peer's cache (its memory or disk): from
+		// this client's viewpoint, a peer hit. The owner-side split is in
+		// the server deltas.
+		cached = "peer"
+	}
+	tl.observe(lat, status, cached)
+}
+
+func runBatch(client *http.Client, target string, stream *gen.Stream, first, count int, mode string, timeout time.Duration, tl *tally) {
+	items := make([]map[string]any, 0, count)
+	for i := first; i < first+count; i++ {
+		src, _ := stream.Request(i)
+		items = append(items, map[string]any{"source": src})
+	}
+	body, _ := json.Marshal(map[string]any{
+		"items": items, "mode": mode, "timeoutMs": timeout.Milliseconds(),
+	})
+	start := time.Now()
+	resp, err := client.Post(target+"/v1/verify/batch", "application/json", bytes.NewReader(body))
+	lat := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		for i := 0; i < count; i++ {
+			tl.observe(lat, "error", "")
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		for i := 0; i < count; i++ {
+			tl.observe(lat, "error", "")
+		}
+		return
+	}
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var line struct {
+			Summary bool   `json:"summary"`
+			Status  string `json:"status"`
+			Cached  string `json:"cached"`
+		}
+		if json.Unmarshal(sc.Bytes(), &line) != nil || line.Summary {
+			continue
+		}
+		tl.observe(lat, line.Status, line.Cached)
+		seen++
+	}
+	for ; seen < count; seen++ {
+		tl.observe(lat, "error", "")
+	}
+}
+
+func fetchStats(client *http.Client, target string) serverStats {
+	var st serverStats
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return st
+	}
+	defer resp.Body.Close()
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	return st
+}
+
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -2,17 +2,28 @@
 // with bounded concurrency and backpressure, per-job deadlines with
 // cooperative cancellation, an LRU verdict cache keyed by the canonical
 // LTS digest, live progress via polling and NDJSON streaming, and
-// graceful drain on SIGTERM. See docs/rockerd.md for the API.
+// graceful drain on SIGTERM. With -store the verdict cache gains a
+// crash-recoverable disk log that survives restarts; with -peers several
+// rockerd processes form a digest-addressed cluster (rendezvous routing,
+// work stealing, batch verification). See docs/rockerd.md for the API.
 //
 // Usage:
 //
 //	rockerd [-addr :8723] [-jobs N] [-queue N] [-cache N]
 //	        [-job-timeout d] [-max-timeout d] [-max N] [-workers N]
-//	        [-drain-timeout d]
+//	        [-drain-timeout d] [-store verdicts.log]
+//	        [-node-id n1 -peers n1@host1:8723,n2@host2:8723,...]
+//	        [-steal-interval d]
 //
 // A quick round trip:
 //
 //	curl -s --data-binary @prog.lit localhost:8723/v1/verify?wait=1
+//
+// A three-node local cluster:
+//
+//	rockerd -addr :8723 -node-id n1 -store n1.log -peers n1@localhost:8723,n2@localhost:8724,n3@localhost:8725 &
+//	rockerd -addr :8724 -node-id n2 -store n2.log -peers n1@localhost:8723,n2@localhost:8724,n3@localhost:8725 &
+//	rockerd -addr :8725 -node-id n3 -store n3.log -peers n1@localhost:8723,n2@localhost:8724,n3@localhost:8725 &
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -40,9 +52,14 @@ func main() {
 	workers := flag.Int("workers", 0, "exploration workers per job (0 = all cores)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long SIGTERM waits for in-flight jobs before force-canceling them")
+	storePath := flag.String("store", "", "persistent verdict log path (empty = memory-only cache)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity (required with -peers)")
+	peers := flag.String("peers", "", "full cluster membership as id@host:port,... (including this node)")
+	stealInterval := flag.Duration("steal-interval", 250*time.Millisecond,
+		"idle-node work-stealing poll cadence (negative disables stealing)")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		MaxJobs:        *jobs,
 		MaxQueue:       *queueDepth,
 		CacheSize:      *cacheSize,
@@ -50,7 +67,30 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxStates:      *maxStates,
 		Workers:        *workers,
-	})
+		StorePath:      *storePath,
+		StealInterval:  *stealInterval,
+	}
+	if *peers != "" {
+		if *nodeID == "" {
+			log.Fatalf("rockerd: -peers requires -node-id")
+		}
+		members, err := cluster.ParseMembers(*peers)
+		if err != nil {
+			log.Fatalf("rockerd: %v", err)
+		}
+		cl, err := cluster.New(cluster.Config{SelfID: *nodeID, Members: members})
+		if err != nil {
+			log.Fatalf("rockerd: %v", err)
+		}
+		cfg.Cluster = cl
+	} else if *nodeID != "" {
+		log.Fatalf("rockerd: -node-id requires -peers")
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("rockerd: %v", err)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -62,7 +102,16 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rockerd: listening on %s (%d jobs, queue %d)", *addr, *jobs, *queueDepth)
+		switch {
+		case cfg.Cluster != nil:
+			log.Printf("rockerd: node %s listening on %s (%d jobs, queue %d, %d peers, store %q)",
+				*nodeID, *addr, *jobs, *queueDepth, len(cfg.Cluster.Peers()), *storePath)
+		case *storePath != "":
+			log.Printf("rockerd: listening on %s (%d jobs, queue %d, store %q)",
+				*addr, *jobs, *queueDepth, *storePath)
+		default:
+			log.Printf("rockerd: listening on %s (%d jobs, queue %d)", *addr, *jobs, *queueDepth)
+		}
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -74,7 +123,7 @@ func main() {
 
 	// Graceful shutdown: stop accepting connections (in-flight requests —
 	// including long polls and streams — get the drain window to finish),
-	// then drain the job pool.
+	// then drain the job pool and flush the verdict store.
 	log.Printf("rockerd: signal received, draining (up to %v)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

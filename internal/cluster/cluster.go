@@ -1,0 +1,247 @@
+// Package cluster provides the peer-to-peer layer that turns N rockerd
+// processes into one digest-addressed verification cluster.
+//
+// Routing is rendezvous (highest-random-weight) hashing on the program's
+// prog.CanonicalDigest: every node, given the same member list, computes
+// the same owner for a digest without any coordination, and removing a
+// member only reassigns that member's digests (minimal disruption — no
+// ring state, no rebalancing protocol). The digest is name-free and
+// renaming-invariant, so all spellings of a program land on one owner and
+// its verdict caches, wherever the client connects.
+//
+// The package deliberately knows nothing about internal/service's types:
+// it owns the member list, the owner function, the retrying HTTP client
+// used between peers, and the wire structs of the peer-only endpoints
+// (/v1/steal handover, pushed results). Failure handling is the caller's:
+// Forward returns an error after bounded retries with exponential
+// backoff, and the service degrades to local verification — a dead peer
+// costs latency, never availability.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/prog"
+)
+
+// Peer-hop headers. A request carrying ForwardHeader has already been
+// routed once and is always handled locally — forwarding is one hop, so a
+// stale or disagreeing member list can cause extra local work but never a
+// forwarding loop. OwnerHeader is set on responses that were served by
+// forwarding, naming the owning node.
+const (
+	ForwardHeader = "X-Rocker-Forwarded"
+	OwnerHeader   = "X-Rocker-Owner"
+)
+
+// Member is one node of the cluster.
+type Member struct {
+	ID  string `json:"id"`  // stable identity; the HRW hash input
+	URL string `json:"url"` // base URL, e.g. http://10.0.0.1:8723
+}
+
+// Config describes the full membership (including this node) and the
+// forwarding client's retry policy.
+type Config struct {
+	// SelfID names this node; it must appear in Members.
+	SelfID string
+	// Members is the complete, identical-on-every-node member list.
+	Members []Member
+	// Retries is the number of attempts per peer call (default 3).
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt (default 25ms).
+	Backoff time.Duration
+}
+
+// Cluster is an immutable view of the membership plus the peer client.
+// Safe for concurrent use.
+type Cluster struct {
+	cfg     Config
+	self    Member
+	members []Member // sorted by ID for deterministic iteration
+	peers   []Member // members minus self
+	client  *http.Client
+}
+
+// New validates cfg and builds the cluster view.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	members := make([]Member, len(cfg.Members))
+	copy(members, cfg.Members)
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	var self Member
+	for _, m := range members {
+		if m.ID == "" || m.URL == "" {
+			return nil, fmt.Errorf("cluster: member %+v needs both id and url", m)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		seen[m.ID] = true
+		if m.ID == cfg.SelfID {
+			self = m
+		}
+	}
+	if self.ID == "" {
+		return nil, fmt.Errorf("cluster: self id %q not in member list", cfg.SelfID)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		self:    self,
+		members: members,
+		// No blanket client timeout: forwarded wait-mode verifications run
+		// as long as the job's own deadline. Per-call urgency comes from
+		// the caller's context.
+		client: &http.Client{},
+	}
+	for _, m := range members {
+		if m.ID != self.ID {
+			c.peers = append(c.peers, m)
+		}
+	}
+	return c, nil
+}
+
+// ParseMembers parses a comma-separated member list of "id@url" entries
+// (a bare URL uses the URL as its own id): the -peers flag format.
+func ParseMembers(s string) ([]Member, error) {
+	var ms []Member
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(ent, "@")
+		if !ok {
+			id, url = ent, ent
+		}
+		if id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: malformed member entry %q (want id@url)", ent)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		ms = append(ms, Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list %q", s)
+	}
+	return ms, nil
+}
+
+// Self returns this node's member entry.
+func (c *Cluster) Self() Member { return c.self }
+
+// IsSelf reports whether m is this node.
+func (c *Cluster) IsSelf(m Member) bool { return m.ID == c.self.ID }
+
+// Peers returns the other members (sorted by ID; callers rotate for
+// fairness).
+func (c *Cluster) Peers() []Member { return c.peers }
+
+// Members returns the full membership, sorted by ID.
+func (c *Cluster) Members() []Member { return c.members }
+
+// Owner returns the member that owns digest d under rendezvous hashing:
+// the member maximizing hash(memberID ∥ d). Every node computes the same
+// owner from the same member list; ties (astronomically unlikely with a
+// 64-bit score) break by member ID.
+func (c *Cluster) Owner(d prog.Digest) Member {
+	best := c.members[0]
+	bestScore := hrwScore(best.ID, d)
+	for _, m := range c.members[1:] {
+		if s := hrwScore(m.ID, d); s > bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+func hrwScore(id string, d prog.Digest) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write(d[:])
+	return h.Sum64()
+}
+
+// Forward performs one peer call with bounded retry and exponential
+// backoff: transport errors and 5xx responses are retried (the 5xx body
+// is drained and discarded); any other response is returned to the
+// caller, body open. The request carries ForwardHeader with this node's
+// id, so the receiving peer handles it locally. On exhaustion the last
+// error (or a synthesized one for a 5xx) is returned and the caller
+// should degrade to local handling.
+func (c *Cluster) Forward(ctx context.Context, m Member, method, path, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, method, m.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		req.Header.Set(ForwardHeader, c.self.ID)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("cluster: %s %s%s: %s", method, m.ID, path, resp.Status)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("cluster: %s %s%s failed after %d attempts: %w",
+		method, m.ID, path, c.cfg.Retries, lastErr)
+}
+
+// StolenJob is the /v1/steal handover payload: everything an idle peer
+// needs to run a queued job on the victim's behalf. TimeoutMs is the
+// job's full deadline; the thief applies it locally.
+type StolenJob struct {
+	ID          string `json:"id"`
+	Source      string `json:"source"`
+	Mode        string `json:"mode"`
+	MaxStates   int    `json:"maxStates"`
+	TimeoutMs   int64  `json:"timeoutMs"`
+	StaticPrune bool   `json:"staticPrune,omitempty"`
+	Reduce      bool   `json:"reduce,omitempty"`
+}
+
+// PushedResult is the POST /v1/jobs/{id}/result payload a thief sends
+// back to the victim: the terminal status plus the result or error.
+type PushedResult struct {
+	Status string          `json:"status"`           // done | canceled | failed
+	Result json.RawMessage `json:"result,omitempty"` // JSON-encoded service Result when Status is done
+	Error  string          `json:"error,omitempty"`
+}

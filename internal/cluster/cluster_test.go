@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/prog"
+)
+
+func members3() []Member {
+	return []Member{
+		{ID: "n1", URL: "http://a:1"},
+		{ID: "n2", URL: "http://b:2"},
+		{ID: "n3", URL: "http://c:3"},
+	}
+}
+
+func digestFor(i int) prog.Digest {
+	var d prog.Digest
+	d[0] = byte(i)
+	d[1] = byte(i >> 8)
+	d[15] = 0x5a
+	return d
+}
+
+// TestOwnerDeterministic: every node, whatever the member-list order it
+// was configured with, computes the same owner for a digest.
+func TestOwnerDeterministic(t *testing.T) {
+	ms := members3()
+	perms := [][]Member{
+		{ms[0], ms[1], ms[2]},
+		{ms[2], ms[0], ms[1]},
+		{ms[1], ms[2], ms[0]},
+	}
+	for i := 0; i < 500; i++ {
+		d := digestFor(i)
+		var want string
+		for pi, perm := range perms {
+			c, err := New(Config{SelfID: perm[0].ID, Members: perm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := c.Owner(d).ID
+			if pi == 0 {
+				want = got
+			} else if got != want {
+				t.Fatalf("digest %d: owner %q under permutation %d, %q under 0", i, got, pi, want)
+			}
+		}
+	}
+}
+
+// TestOwnerBalance: HRW spreads digests roughly evenly — each of 3 nodes
+// owns a healthy share of 3000 digests.
+func TestOwnerBalance(t *testing.T) {
+	c, err := New(Config{SelfID: "n1", Members: members3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[c.Owner(digestFor(i)).ID]++
+	}
+	for id, got := range counts {
+		if got < n/6 || got > n/2+n/6 {
+			t.Errorf("node %s owns %d of %d digests — badly unbalanced (%v)", id, got, n, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own anything: %v", len(counts), counts)
+	}
+}
+
+// TestOwnerMinimalDisruption: dropping one member only reassigns that
+// member's digests; everyone else's owner is unchanged.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	ms := members3()
+	full, _ := New(Config{SelfID: "n1", Members: ms})
+	reduced, _ := New(Config{SelfID: "n1", Members: ms[:2]}) // n3 removed
+	for i := 0; i < 1000; i++ {
+		d := digestFor(i)
+		before := full.Owner(d).ID
+		after := reduced.Owner(d).ID
+		if before != "n3" && after != before {
+			t.Fatalf("digest %d moved %s -> %s though its owner never left", i, before, after)
+		}
+		if before == "n3" && after == "n3" {
+			t.Fatalf("digest %d still owned by removed member", i)
+		}
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("n1@http://a:8723, n2@b:8724 ,http://c:8725")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "n1", URL: "http://a:8723"},
+		{ID: "n2", URL: "http://b:8724"},
+		{ID: "http://c:8725", URL: "http://c:8725"},
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("got %v", ms)
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("member %d = %+v, want %+v", i, ms[i], want[i])
+		}
+	}
+	if _, err := ParseMembers(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := ParseMembers("@nourl"); err == nil {
+		t.Error("malformed entry accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ms := members3()
+	if _, err := New(Config{SelfID: "ghost", Members: ms}); err == nil {
+		t.Error("self outside membership accepted")
+	}
+	dup := append(members3(), Member{ID: "n1", URL: "http://d:4"})
+	if _, err := New(Config{SelfID: "n1", Members: dup}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := New(Config{SelfID: "x", Members: nil}); err == nil {
+		t.Error("empty membership accepted")
+	}
+}
+
+// TestForwardRetries: a peer that fails twice then succeeds is reached
+// within the retry budget; the request carries the hop header.
+func TestForwardRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardHeader) != "n1" {
+			t.Errorf("hop header = %q, want n1", r.Header.Get(ForwardHeader))
+		}
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	ms := []Member{{ID: "n1", URL: "http://self"}, {ID: "n2", URL: ts.URL}}
+	c, err := New(Config{SelfID: "n1", Members: ms, Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Forward(context.Background(), ms[1], http.MethodPost, "/v1/verify", "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestForwardExhausts: a dead peer returns an error after the bounded
+// retries rather than hanging.
+func TestForwardExhausts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // dead on arrival
+	ms := []Member{{ID: "n1", URL: "http://self"}, {ID: "n2", URL: ts.URL}}
+	c, _ := New(Config{SelfID: "n1", Members: ms, Retries: 2, Backoff: time.Millisecond})
+	start := time.Now()
+	if _, err := c.Forward(context.Background(), ms[1], http.MethodPost, "/v1/steal", "", nil); err == nil {
+		t.Fatal("forward to dead peer succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop took implausibly long")
+	}
+}
+
+// TestForwardHonorsContext: cancellation cuts the backoff wait short.
+func TestForwardHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always failing", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	ms := []Member{{ID: "n1", URL: "http://self"}, {ID: "n2", URL: ts.URL}}
+	c, _ := New(Config{SelfID: "n1", Members: ms, Retries: 10, Backoff: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Forward(ctx, ms[1], http.MethodGet, "/", "", nil); err == nil {
+		t.Fatal("forward succeeded against an always-5xx peer")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context cancellation did not cut the backoff short")
+	}
+}

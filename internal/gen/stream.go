@@ -1,0 +1,68 @@
+package gen
+
+// Stream turns the generator into a deterministic request mix for load
+// generation (cmd/loadgen): mostly fresh programs, with a configurable
+// share of renamed duplicates — a variant spelling of an earlier
+// request's program, digest-equal under prog.CanonicalDigest, so a
+// correctly keyed verdict cache must serve it without re-exploring.
+//
+// Like the generator itself, a stream is pure: Request(i) depends only
+// on the StreamConfig and i, so a load run is reproduced by its
+// (seed, n) pair and concurrent workers can pull indices in any order.
+
+// StreamConfig tunes a request stream.
+type StreamConfig struct {
+	// Seed derives the duplicate-placement stream; the program content
+	// comes from the Generator's own seed.
+	Seed uint64
+	// DupPercent (0..100) is the share of requests sent as renamed
+	// variants of an earlier request's program (default 0). The share is
+	// of requests after the first — request 0 is always fresh.
+	DupPercent int
+	// Window bounds how far back a duplicate reaches (default 64): a
+	// duplicate at index i repeats a program from (i-Window, i). Small
+	// windows model bursty repeat traffic that stays LRU-resident.
+	Window int
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.DupPercent < 0 {
+		c.DupPercent = 0
+	}
+	if c.DupPercent > 100 {
+		c.DupPercent = 100
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	return c
+}
+
+// Stream is a deterministic request sequence. Safe for concurrent use.
+type Stream struct {
+	g   *Generator
+	cfg StreamConfig
+}
+
+// NewStream builds a stream over g.
+func NewStream(g *Generator, cfg StreamConfig) *Stream {
+	return &Stream{g: g, cfg: cfg.withDefaults()}
+}
+
+// Request returns the i-th request's source text and, when the request
+// is a duplicate, the index whose program it repeats (dupOf = -1 for a
+// fresh program). A duplicate of index j is digest-equal to Source(j) —
+// note j itself may also have been sent as a duplicate of an earlier
+// index, so the true first occurrence of a digest can precede dupOf.
+func (s *Stream) Request(i int) (src string, dupOf int) {
+	r := rng{s: (s.cfg.Seed ^ 0x9e3779b97f4a7c15) + uint64(i)*0x2545f4914f6cdd1d}
+	r.next()
+	if i > 0 && r.pct(s.cfg.DupPercent) {
+		back := 1 + r.intn(min(i, s.cfg.Window))
+		j := i - back
+		// Variant seed is drawn per-request: repeats of the same program
+		// arrive under different spellings, all digest-equal.
+		return s.g.Variant(j, r.next()), j
+	}
+	return s.g.Source(i), -1
+}

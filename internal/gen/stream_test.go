@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/prog"
+)
+
+// TestStreamDeterministic: two streams with the same config agree
+// request-for-request.
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(New(Config{Seed: 11}), StreamConfig{Seed: 5, DupPercent: 40})
+	b := NewStream(New(Config{Seed: 11}), StreamConfig{Seed: 5, DupPercent: 40})
+	for i := 0; i < 200; i++ {
+		sa, da := a.Request(i)
+		sb, db := b.Request(i)
+		if sa != sb || da != db {
+			t.Fatalf("request %d diverges: (%d) vs (%d)", i, da, db)
+		}
+	}
+}
+
+// TestStreamDupRate: the duplicate share lands near DupPercent, and a
+// zero-percent stream never duplicates.
+func TestStreamDupRate(t *testing.T) {
+	s := NewStream(New(Config{Seed: 1}), StreamConfig{Seed: 2, DupPercent: 40})
+	const n = 500
+	dups := 0
+	for i := 0; i < n; i++ {
+		if _, dupOf := s.Request(i); dupOf >= 0 {
+			if dupOf >= i {
+				t.Fatalf("request %d duplicates a future index %d", i, dupOf)
+			}
+			dups++
+		}
+	}
+	if pct := 100 * dups / n; pct < 25 || pct > 55 {
+		t.Errorf("duplicate share %d%% of %d requests, want ~40%%", pct, n)
+	}
+
+	fresh := NewStream(New(Config{Seed: 1}), StreamConfig{Seed: 2})
+	for i := 0; i < 100; i++ {
+		if _, dupOf := fresh.Request(i); dupOf != -1 {
+			t.Fatalf("DupPercent 0 emitted a duplicate at %d", i)
+		}
+	}
+}
+
+// TestStreamDupsAreDigestEqual: every duplicate parses and has the same
+// canonical digest as the program it repeats — the property that makes
+// DupPercent a cache-hit-rate dial.
+func TestStreamDupsAreDigestEqual(t *testing.T) {
+	g := New(Config{Seed: 9, NoExtras: true})
+	s := NewStream(g, StreamConfig{Seed: 3, DupPercent: 50, Window: 16})
+	checked := 0
+	for i := 0; i < 300 && checked < 40; i++ {
+		src, dupOf := s.Request(i)
+		if dupOf < 0 {
+			continue
+		}
+		dp, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("duplicate %d does not parse: %v\n%s", i, err, src)
+		}
+		op, err := parser.Parse(g.Source(dupOf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.CanonicalDigest(dp) != prog.CanonicalDigest(op) {
+			t.Errorf("request %d is not digest-equal to its original %d", i, dupOf)
+		}
+		if src == g.Source(dupOf) {
+			t.Errorf("request %d repeats index %d verbatim; want a renamed variant", i, dupOf)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d duplicates in 300 requests at 50%%", checked)
+	}
+}

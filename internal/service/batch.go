@@ -1,0 +1,338 @@
+package service
+
+// POST /v1/verify/batch: many programs in, one NDJSON stream of per-item
+// verdicts out, in completion order. The batch runs through the same
+// admission gate as single submissions — items wait politely when the
+// pool saturates instead of failing — and per-item deadlines still apply.
+// A client that disconnects mid-batch cancels its in-flight items; every
+// line already written stands (partial results, not all-or-nothing).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/parser"
+	"repro/internal/prog"
+	"repro/internal/verkey"
+)
+
+// BatchRequest is the JSON body of POST /v1/verify/batch. The top-level
+// knobs are defaults applied to every item that leaves the corresponding
+// field zero.
+type BatchRequest struct {
+	Items []VerifyRequest `json:"items"`
+
+	Mode        string `json:"mode,omitempty"`
+	TimeoutMs   int64  `json:"timeoutMs,omitempty"`
+	MaxStates   int    `json:"maxStates,omitempty"`
+	StaticPrune bool   `json:"staticPrune,omitempty"`
+	Reduce      bool   `json:"reduce,omitempty"`
+}
+
+// BatchLine is one NDJSON response line: the outcome of items[Index].
+// Status is done/canceled/failed, or "error" for an item that never
+// became a job (parse failure, empty source, unknown mode). Cached names
+// the verdict's source when no local exploration ran: "memory", "disk",
+// or "peer" (peer covers both the owner's cache and a fresh verdict the
+// owner computed for us).
+type BatchLine struct {
+	Index     int     `json:"index"`
+	Digest    string  `json:"digest,omitempty"`
+	Status    string  `json:"status"`
+	Cached    string  `json:"cached,omitempty"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// BatchSummary is the final NDJSON line of a completed batch.
+type BatchSummary struct {
+	Summary      bool    `json:"summary"`
+	Total        int     `json:"total"`
+	Done         int     `json:"done"`
+	Canceled     int     `json:"canceled"`
+	Failed       int     `json:"failed"`
+	Errors       int     `json:"errors"`
+	CachedMemory int     `json:"cachedMemory"`
+	CachedDisk   int     `json:"cachedDisk"`
+	CachedPeer   int     `json:"cachedPeer"`
+	ElapsedMs    float64 `json:"elapsedMs"`
+}
+
+// errBatchGone marks items canceled because the batch client disconnected.
+var errBatchGone = errors.New("batch client disconnected")
+
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBatchBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBatchBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", s.cfg.MaxBatchBytes)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d items exceeds the %d-item limit", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+
+	// Apply batch-level defaults to zero-valued item knobs.
+	for i := range req.Items {
+		it := &req.Items[i]
+		if it.Mode == "" {
+			it.Mode = req.Mode
+		}
+		if it.TimeoutMs == 0 {
+			it.TimeoutMs = req.TimeoutMs
+		}
+		if it.MaxStates == 0 {
+			it.MaxStates = req.MaxStates
+		}
+		it.StaticPrune = it.StaticPrune || req.StaticPrune
+		it.Reduce = it.Reduce || req.Reduce
+		it.Wait = false
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	start := time.Now()
+	forwarded := r.Header.Get(cluster.ForwardHeader)
+	ctx := r.Context()
+
+	var (
+		emitMu  sync.Mutex
+		summary = BatchSummary{Summary: true, Total: len(req.Items)}
+		enc     = json.NewEncoder(w)
+	)
+	enc.SetEscapeHTML(false)
+	emit := func(line BatchLine) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		switch line.Status {
+		case StatusDone:
+			summary.Done++
+		case StatusCanceled:
+			summary.Canceled++
+		case StatusFailed:
+			summary.Failed++
+		default:
+			summary.Errors++
+		}
+		switch line.Cached {
+		case CachedMemory:
+			summary.CachedMemory++
+		case CachedDisk:
+			summary.CachedDisk++
+		case CachedPeer:
+			summary.CachedPeer++
+		}
+		if enc.Encode(line) == nil {
+			fl.Flush()
+		}
+	}
+
+	// Fan items over a bounded set of feeders. The bound exceeds the
+	// worker pool so the queue stays primed (and peers can steal from it),
+	// but an oversized batch cannot pile thousands of goroutines onto the
+	// admission gate at once.
+	conc := s.cfg.MaxJobs + s.cfg.MaxQueue
+	if conc > len(req.Items) {
+		conc = len(req.Items)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s.nstats.batchItems.Add(1)
+				itemStart := time.Now()
+				line := s.batchOne(ctx, req.Items[i], forwarded)
+				line.Index = i
+				line.ElapsedMs = msSince(itemStart)
+				emit(line)
+			}
+		}()
+	}
+feed:
+	for i := range req.Items {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	summary.ElapsedMs = msSince(start)
+	emitMu.Lock()
+	if enc.Encode(summary) == nil {
+		fl.Flush()
+	}
+	emitMu.Unlock()
+}
+
+// batchOne resolves a single batch item: validate → cache → cluster
+// routing → local verification through the admission gate. Saturation is
+// absorbed by waiting (the batch is the backpressure), not surfaced as a
+// per-item 429.
+func (s *Server) batchOne(ctx context.Context, req VerifyRequest, forwardedFrom string) BatchLine {
+	if req.Mode == "" {
+		req.Mode = ModeRA
+	}
+	if !validMode(req.Mode) {
+		return BatchLine{Status: "error", Error: fmt.Sprintf("unknown mode %q", req.Mode)}
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return BatchLine{Status: "error", Error: "empty program source"}
+	}
+	p, err := parser.Parse(req.Source)
+	if err == nil {
+		err = p.Validate()
+	}
+	if err != nil {
+		return BatchLine{Status: "error", Error: err.Error()}
+	}
+
+	maxStates, timeout := s.clampLimits(req)
+	d := prog.CanonicalDigest(p)
+	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce)
+	line := BatchLine{Digest: d.String()}
+
+	if res, source := s.cachedResult(key); res != nil {
+		line.Status, line.Cached, line.Result = StatusDone, source, res
+		return line
+	}
+
+	if s.cluster != nil && forwardedFrom == "" {
+		if owner := s.cluster.Owner(d); !s.cluster.IsSelf(owner) {
+			if out, ok := s.forwardBatchItem(ctx, owner, req, key, maxStates, timeout); ok {
+				out.Digest = line.Digest
+				return out
+			}
+			// Owner unreachable: fall through to local verification.
+		}
+	}
+
+	for {
+		j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
+		switch outcome {
+		case submitDraining:
+			line.Status, line.Error = StatusCanceled, "server is draining"
+			return line
+		case submitSaturated:
+			select {
+			case <-ctx.Done():
+				line.Status, line.Error = StatusCanceled, errBatchGone.Error()
+				return line
+			case <-time.After(25 * time.Millisecond):
+			}
+			continue
+		case submitQueued:
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				j.cancel(errBatchGone)
+				// Mirror DELETE: a queued job has no worker polling its
+				// context yet, so resolve it here for promptness.
+				j.mu.Lock()
+				queued := j.status == StatusQueued
+				j.mu.Unlock()
+				if queued {
+					j.finish(StatusCanceled, nil, fmt.Sprintf("canceled: %v", errBatchGone))
+				}
+				<-j.done
+			}
+			j.mu.Lock()
+			line.Status, line.Result, line.Error = j.status, j.result, j.err
+			j.mu.Unlock()
+			return line
+		}
+	}
+}
+
+// forwardBatchItem runs one batch item on its owning peer as a wait-mode
+// single verify. ok=false means the caller should verify locally.
+func (s *Server) forwardBatchItem(ctx context.Context, owner cluster.Member, req VerifyRequest, key string, maxStates int, timeout time.Duration) (BatchLine, bool) {
+	fr := VerifyRequest{
+		Source:      req.Source,
+		Mode:        req.Mode,
+		TimeoutMs:   timeout.Milliseconds(),
+		MaxStates:   maxStates,
+		Wait:        true,
+		StaticPrune: req.StaticPrune,
+		Reduce:      req.Reduce,
+	}
+	body, err := json.Marshal(fr)
+	if err != nil {
+		return BatchLine{}, false
+	}
+	resp, err := s.cluster.Forward(ctx, owner, http.MethodPost, "/v1/verify", "application/json", body)
+	if err != nil {
+		s.nstats.forwardFails.Add(1)
+		return BatchLine{}, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, peerBodyLimit))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		// Includes 429 from a saturated owner: local admission (which
+		// waits) handles it better than hammering the peer.
+		s.nstats.forwardFails.Add(1)
+		return BatchLine{}, false
+	}
+	var peek struct {
+		Cached bool    `json:"cached"`
+		Status string  `json:"status"`
+		Result *Result `json:"result"`
+		Error  string  `json:"error"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
+		s.nstats.forwardFails.Add(1)
+		return BatchLine{}, false
+	}
+	s.nstats.peerForwards.Add(1)
+	line := BatchLine{Cached: CachedPeer}
+	switch {
+	case peek.Cached, peek.Status == StatusDone:
+		line.Status, line.Result = StatusDone, peek.Result
+		if peek.Result != nil {
+			s.cache.put(key, peek.Result)
+		}
+	case peek.Status == StatusCanceled, peek.Status == StatusFailed:
+		line.Status, line.Error = peek.Status, peek.Error
+	default:
+		return BatchLine{}, false
+	}
+	return line, true
+}

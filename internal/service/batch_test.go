@@ -1,0 +1,199 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/service"
+)
+
+// postBatch sends a batch and decodes the NDJSON reply into per-index
+// lines plus the trailing summary.
+func postBatch(t *testing.T, base string, req service.BatchRequest) (map[int]service.BatchLine, service.BatchSummary, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/verify/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := make(map[int]service.BatchLine)
+	var summary service.BatchSummary
+	if resp.StatusCode != http.StatusOK {
+		return lines, summary, resp.StatusCode
+	}
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+				t.Fatal(err)
+			}
+			sawSummary = true
+			continue
+		}
+		var line service.BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := lines[line.Index]; dup {
+			t.Fatalf("index %d emitted twice", line.Index)
+		}
+		lines[line.Index] = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary {
+		t.Fatal("batch stream ended without a summary line")
+	}
+	return lines, summary, resp.StatusCode
+}
+
+// TestBatchEndToEnd: mixed batch — a memory-cache hit, a fresh verify, a
+// parse failure, a bogus mode — streams one line per item plus a summary,
+// and bad items never poison good ones.
+func TestBatchEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxJobs: 2})
+
+	// Pre-seed the cache so the digest-equal variant is a memory hit.
+	resp, body := post(t, ts.URL, "/v1/verify", nil,
+		service.VerifyRequest{Source: corpusSource(t, "SB"), Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed verify: %d %s", resp.StatusCode, body)
+	}
+
+	lines, summary, code := postBatch(t, ts.URL, service.BatchRequest{
+		Items: []service.VerifyRequest{
+			{Source: sbVariant},
+			{Source: corpusSource(t, "MP")},
+			{Source: "this does not parse ("},
+			{Source: corpusSource(t, "SB"), Mode: "bogus"},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4: %v", len(lines), lines)
+	}
+	if l := lines[0]; l.Status != service.StatusDone || l.Cached != service.CachedMemory || l.Result == nil {
+		t.Errorf("item 0 (cached variant) = %+v, want done from memory", l)
+	}
+	if l := lines[1]; l.Status != service.StatusDone || l.Cached != "" || l.Result == nil {
+		t.Errorf("item 1 (fresh) = %+v, want done uncached", l)
+	}
+	if l := lines[2]; l.Status != "error" || l.Error == "" {
+		t.Errorf("item 2 (parse failure) = %+v, want error", l)
+	}
+	if l := lines[3]; l.Status != "error" || l.Error == "" {
+		t.Errorf("item 3 (bad mode) = %+v, want error", l)
+	}
+	if summary.Total != 4 || summary.Done != 2 || summary.Errors != 2 || summary.CachedMemory != 1 {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+// TestBatchAbsorbsSaturation: a batch larger than workers+queue completes
+// without any per-item admission failure — items wait their turn instead
+// of seeing 429.
+func TestBatchAbsorbsSaturation(t *testing.T) {
+	srv, ts := newTestServer(t, service.Config{MaxJobs: 1, MaxQueue: 1})
+	_ = srv
+	g := gen.New(gen.Config{Seed: 3, NoExtras: true})
+	var items []service.VerifyRequest
+	for i := 0; i < 6; i++ {
+		items = append(items, service.VerifyRequest{Source: g.Source(i)})
+	}
+	lines, summary, code := postBatch(t, ts.URL, service.BatchRequest{
+		Items:     items,
+		TimeoutMs: (30 * time.Second).Milliseconds(),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if summary.Done != 6 || summary.Errors != 0 || summary.Canceled != 0 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v, want 6 done", summary)
+	}
+	for i := 0; i < 6; i++ {
+		if l := lines[i]; l.Status != service.StatusDone || l.Result == nil {
+			t.Errorf("item %d = %+v, want done", i, l)
+		}
+	}
+}
+
+// TestBatchLimits: an oversized item count is rejected up front with 413,
+// before any work starts.
+func TestBatchLimits(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxBatchItems: 2})
+	items := make([]service.VerifyRequest, 3)
+	for i := range items {
+		items[i] = service.VerifyRequest{Source: corpusSource(t, "SB")}
+	}
+	_, _, code := postBatch(t, ts.URL, service.BatchRequest{Items: items})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", code)
+	}
+	_, _, code = postBatch(t, ts.URL, service.BatchRequest{})
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+}
+
+// TestBatchClusterRouting: batch items are routed per-item — digests
+// owned by a peer resolve there (line cached="peer"), self-owned digests
+// run locally.
+func TestBatchClusterRouting(t *testing.T) {
+	nodes, _ := newTestCluster(t, 2, func(i int, cfg *service.Config) {
+		cfg.MaxJobs = 2
+	})
+	mine := genProgramOwnedBy(t, nodes[0].cl, "n1")
+	theirs := genProgramOwnedBy(t, nodes[0].cl, "n2")
+
+	lines, summary, code := postBatch(t, nodes[0].url(), service.BatchRequest{
+		Items: []service.VerifyRequest{
+			{Source: theirs},
+			{Source: mine},
+			{Source: theirs}, // duplicate digest: cache hit somewhere
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if summary.Done != 3 {
+		t.Fatalf("summary = %+v, want 3 done", summary)
+	}
+	if l := lines[0]; l.Status != service.StatusDone {
+		t.Errorf("peer-owned item = %+v, want done", l)
+	}
+	if l := lines[1]; l.Status != service.StatusDone || l.Cached == service.CachedPeer {
+		t.Errorf("self-owned item = %+v, want done locally", l)
+	}
+	// Both spellings of "theirs" resolved without local exploration on n1.
+	for _, i := range []int{0, 2} {
+		if l := lines[i]; l.Cached == "" {
+			t.Errorf("item %d ran locally (%+v), want peer/cache resolution", i, l)
+		}
+	}
+	if st := nodeStats(t, nodes[0]); st.PeerForwards < 1 {
+		t.Errorf("n1 peerForwards = %d, want >= 1", st.PeerForwards)
+	}
+	if st := nodeStats(t, nodes[1]); st.Submitted < 1 {
+		t.Errorf("n2 submitted = %d, want >= 1 (owner ran the job)", st.Submitted)
+	}
+}

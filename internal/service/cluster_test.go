@@ -1,0 +1,571 @@
+package service_test
+
+// In-process multi-node cluster tests: N service.Servers, each with its
+// own persistent store and a cluster view over real TCP listeners bound
+// before any server starts (so every member list carries final
+// addresses). These are the acceptance scenarios: digest routing to one
+// owner, degradation when the owner is dead, a restarted node serving
+// verdicts from its disk log with zero exploration, work stealing, and
+// DELETE propagation through forwarded handles.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/prog"
+	"repro/internal/service"
+)
+
+type clusterNode struct {
+	id      string
+	addr    string
+	store   string
+	srv     *service.Server
+	ts      *httptest.Server
+	cl      *cluster.Cluster
+	stopped bool
+}
+
+func (nd *clusterNode) url() string { return "http://" + nd.addr }
+
+func (nd *clusterNode) stop(t *testing.T) {
+	t.Helper()
+	if nd.stopped {
+		return
+	}
+	nd.stopped = true
+	nd.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := nd.srv.Drain(ctx); err != nil && !errors.Is(err, service.ErrDrainTimeout) {
+		t.Errorf("drain %s: %v", nd.id, err)
+	}
+}
+
+// startNode builds and starts one node on a pre-bound listener. mut
+// tweaks the node's config before the cluster view is attached.
+func startNode(t *testing.T, l net.Listener, id, storePath string, members []cluster.Member, mut func(*service.Config)) *clusterNode {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{SelfID: id, Members: members, Backoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.Config{
+		MaxJobs:       1,
+		MaxQueue:      16,
+		StealInterval: -1, // stealing off unless a test opts in
+		StorePath:     storePath,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cfg.Cluster = cl
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: srv}}
+	ts.Start()
+	return &clusterNode{id: id, addr: l.Addr().String(), store: storePath, srv: srv, ts: ts, cl: cl}
+}
+
+// newTestCluster brings up n nodes named n1..nN, each with a persistent
+// store in a fresh temp dir.
+func newTestCluster(t *testing.T, n int, mut func(i int, cfg *service.Config)) ([]*clusterNode, []cluster.Member) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), URL: "http://" + l.Addr().String()}
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		i := i
+		var m func(*service.Config)
+		if mut != nil {
+			m = func(c *service.Config) { mut(i, c) }
+		}
+		store := filepath.Join(t.TempDir(), "verdicts.log")
+		nodes[i] = startNode(t, listeners[i], members[i].ID, store, members, m)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.stop(t)
+		}
+	})
+	return nodes, members
+}
+
+// verifyView decodes both response shapes of POST /v1/verify: a cached
+// envelope ({"cached":true,"source":...,"result":...}) and a job
+// snapshot.
+type verifyView struct {
+	ID     string          `json:"id"`
+	Cached bool            `json:"cached"`
+	Source string          `json:"source"`
+	Status string          `json:"status"`
+	Result *service.Result `json:"result"`
+	Error  string          `json:"error"`
+}
+
+type statsView struct {
+	Submitted    int64  `json:"submitted"`
+	MemoryHits   int64  `json:"memoryHits"`
+	DiskHits     int64  `json:"diskHits"`
+	PeerForwards int64  `json:"peerForwards"`
+	ForwardFails int64  `json:"forwardFails"`
+	Steals       int64  `json:"steals"`
+	Stolen       int64  `json:"stolen"`
+	BatchItems   int64  `json:"batchItems"`
+	Node         string `json:"node"`
+	Store        *struct {
+		Records int `json:"records"`
+	} `json:"store"`
+}
+
+// post sends a JSON request to base+path with optional extra headers.
+func post(t *testing.T, base, path string, hdr map[string]string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func nodeStats(t *testing.T, nd *clusterNode) statsView {
+	t.Helper()
+	resp, err := http.Get(nd.url() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsView
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func clusterSnap(t *testing.T, base, id string) (service.Snapshot, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap, resp.StatusCode
+}
+
+func waitFor(t *testing.T, base, id string, want func(string) bool, timeout time.Duration) service.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		snap, code := clusterSnap(t, base, id)
+		if code == http.StatusOK && want(snap.Status) {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in status %q (want satisfied: no) after %v", id, snap.Status, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func terminal(status string) bool {
+	switch status {
+	case service.StatusDone, service.StatusCanceled, service.StatusFailed:
+		return true
+	}
+	return false
+}
+
+// genProgramOwnedBy searches the deterministic generator for a program
+// whose canonical digest is owned by ownerID under cl's membership.
+func genProgramOwnedBy(t *testing.T, cl *cluster.Cluster, ownerID string) string {
+	t.Helper()
+	g := gen.New(gen.Config{Seed: 42, NoExtras: true})
+	for i := 0; i < 2000; i++ {
+		src := g.Source(i)
+		p, err := parser.Parse(src)
+		if err != nil || p.Validate() != nil {
+			continue
+		}
+		if cl.Owner(prog.CanonicalDigest(p)).ID == ownerID {
+			return src
+		}
+	}
+	t.Fatalf("no generated program owned by %s in 2000 tries", ownerID)
+	return ""
+}
+
+// forcedLocal makes a node handle a submission itself, bypassing owner
+// routing — the tests use it to pile work onto a chosen victim.
+func forcedLocal() map[string]string {
+	return map[string]string{cluster.ForwardHeader: "test-client"}
+}
+
+// TestClusterSingleOwner: the same program — under different spellings —
+// submitted to all three nodes is verified exactly once cluster-wide;
+// repeat submissions are cache hits wherever the client connects.
+func TestClusterSingleOwner(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, nil)
+	src := corpusSource(t, "SB")
+
+	var results []*service.Result
+	for i, s := range []string{src, sbVariant, src} {
+		resp, body := post(t, nodes[i].url(), "/v1/verify", nil, service.VerifyRequest{Source: s, Wait: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var v verifyView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Result == nil {
+			t.Fatalf("node %d: no result in %s", i, body)
+		}
+		if i > 0 && !v.Cached {
+			t.Errorf("node %d: repeat submission not served from a cache: %s", i, body)
+		}
+		results = append(results, v.Result)
+	}
+	for i, r := range results[1:] {
+		if r.Robust != results[0].Robust || r.States != results[0].States {
+			t.Errorf("response %d disagrees: %+v vs %+v", i+1, r, results[0])
+		}
+	}
+
+	owners := 0
+	var total int64
+	for _, nd := range nodes {
+		st := nodeStats(t, nd)
+		total += st.Submitted
+		if st.Submitted > 0 {
+			owners++
+		}
+	}
+	if total != 1 || owners != 1 {
+		t.Errorf("want exactly 1 job on exactly 1 node, got %d jobs on %d nodes", total, owners)
+	}
+}
+
+// TestClusterOwnerDownDegrades: with the owning node dead, a non-owner
+// still answers — it verifies locally after the forward exhausts its
+// retries. A dead peer costs latency, never availability.
+func TestClusterOwnerDownDegrades(t *testing.T) {
+	nodes, _ := newTestCluster(t, 2, nil)
+	src := genProgramOwnedBy(t, nodes[0].cl, "n2")
+	nodes[1].stop(t)
+
+	resp, body := post(t, nodes[0].url(), "/v1/verify", nil, service.VerifyRequest{Source: src, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v verifyView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != service.StatusDone || v.Result == nil {
+		t.Fatalf("degraded verification did not complete: %s", body)
+	}
+	st := nodeStats(t, nodes[0])
+	if st.ForwardFails < 1 {
+		t.Errorf("forwardFails = %d, want >= 1", st.ForwardFails)
+	}
+	if st.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1 (local degradation)", st.Submitted)
+	}
+}
+
+// TestClusterRestartServesFromStore: a verdict computed before a node
+// restarts is served after the restart from its persistent store — a
+// disk hit with zero exploration — including to peers that route to it.
+func TestClusterRestartServesFromStore(t *testing.T) {
+	nodes, members := newTestCluster(t, 3, nil)
+	src := genProgramOwnedBy(t, nodes[0].cl, "n2")
+
+	// Verify once via n1; the job runs on its owner n2 and lands in n2's
+	// disk log.
+	resp, body := post(t, nodes[0].url(), "/v1/verify", nil, service.VerifyRequest{Source: src, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var first verifyView
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Result == nil {
+		t.Fatalf("no result: %s", body)
+	}
+
+	// Restart n2: drain (flushes the log), rebind the same address, open
+	// the same store.
+	old := nodes[1]
+	old.stop(t)
+	l, err := net.Listen("tcp", old.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := startNode(t, l, old.id, old.store, members, nil)
+	t.Cleanup(func() { restarted.stop(t) })
+
+	// Submit via n3, whose LRU never saw this program: it forwards to the
+	// restarted n2, which answers from disk without exploring.
+	resp, body = post(t, nodes[2].url(), "/v1/verify", nil, service.VerifyRequest{Source: src, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var second verifyView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Source != service.CachedDisk {
+		t.Fatalf("want a disk hit, got %s", body)
+	}
+	if second.Result == nil || second.Result.States != first.Result.States ||
+		second.Result.Robust != first.Result.Robust {
+		t.Fatalf("restarted verdict differs: %s vs first %+v", body, first.Result)
+	}
+	st := nodeStats(t, restarted)
+	if st.Submitted != 0 {
+		t.Errorf("restarted node explored (%d jobs); want the verdict from disk alone", st.Submitted)
+	}
+	if st.DiskHits != 1 {
+		t.Errorf("diskHits = %d, want 1", st.DiskHits)
+	}
+	if st.Store == nil || st.Store.Records < 1 {
+		t.Errorf("restarted store reports no records: %+v", st.Store)
+	}
+}
+
+// TestClusterWorkStealing: with n1's single worker pinned by a long job,
+// its queue drains anyway — idle n2 steals the queued jobs, runs them,
+// and pushes the verdicts back.
+func TestClusterWorkStealing(t *testing.T) {
+	nodes, _ := newTestCluster(t, 2, func(i int, cfg *service.Config) {
+		if i == 1 {
+			cfg.StealInterval = 5 * time.Millisecond
+		}
+	})
+	n1 := nodes[0].url()
+
+	// Pin n1's only worker. lamport2-3-ra explores for minutes; the test
+	// cancels it long before that.
+	resp, body := post(t, n1, "/v1/verify", forcedLocal(),
+		service.VerifyRequest{Source: corpusSource(t, "lamport2-3-ra"), TimeoutMs: 120_000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker not admitted: %d %s", resp.StatusCode, body)
+	}
+	var blocker verifyView
+	if err := json.Unmarshal(body, &blocker); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, n1+"/v1/jobs/"+blocker.ID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, n1, blocker.ID, func(s string) bool { return s == service.StatusRunning }, 10*time.Second)
+
+	// Queue jobs on n1 that only a thief can run.
+	g := gen.New(gen.Config{Seed: 7, NoExtras: true})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp, body := post(t, n1, "/v1/verify", forcedLocal(), service.VerifyRequest{Source: g.Source(i)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d not admitted: %d %s", i, resp.StatusCode, body)
+		}
+		var v verifyView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		snap := waitFor(t, n1, id, terminal, 30*time.Second)
+		if snap.Status != service.StatusDone || snap.Result == nil {
+			t.Errorf("stolen job %s ended %q (%s), want done with a verdict", id, snap.Status, snap.Error)
+		}
+	}
+	if st := nodeStats(t, nodes[0]); st.Stolen < 1 {
+		t.Errorf("victim reports stolen = %d, want >= 1", st.Stolen)
+	}
+	if st := nodeStats(t, nodes[1]); st.Steals < 1 {
+		t.Errorf("thief reports steals = %d, want >= 1", st.Steals)
+	}
+}
+
+// TestClusterDeleteForwardedPropagates: DELETE against a forwarded
+// handle cancels the job on the owning peer, not just the local proxy.
+func TestClusterDeleteForwardedPropagates(t *testing.T) {
+	nodes, _ := newTestCluster(t, 2, nil)
+	n1, n2 := nodes[0].url(), nodes[1].url()
+	src := genProgramOwnedBy(t, nodes[0].cl, "n2")
+
+	// Pin n2's only worker so the forwarded job stays queued there.
+	resp, body := post(t, n2, "/v1/verify", forcedLocal(),
+		service.VerifyRequest{Source: corpusSource(t, "lamport2-3-ra"), TimeoutMs: 120_000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker not admitted: %d %s", resp.StatusCode, body)
+	}
+	var blocker verifyView
+	if err := json.Unmarshal(body, &blocker); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, n2+"/v1/jobs/"+blocker.ID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, n2, blocker.ID, func(s string) bool { return s == service.StatusRunning }, 10*time.Second)
+
+	// Async submit via n1: forwarded to n2, answered with a local proxy
+	// handle.
+	resp, body = post(t, n1, "/v1/verify", nil, service.VerifyRequest{Source: src})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(cluster.OwnerHeader); got != "n2" {
+		t.Errorf("owner header = %q, want n2", got)
+	}
+	var v verifyView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+v.ID {
+		t.Errorf("location %q does not match id %q", loc, v.ID)
+	}
+	if snap, code := clusterSnap(t, n1, v.ID); code != http.StatusOK || snap.ID != v.ID || snap.Status != service.StatusQueued {
+		t.Fatalf("proxy GET: code %d, snap %+v", code, snap)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, n1+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsnap service.Snapshot
+	if err := json.NewDecoder(dresp.Body).Decode(&dsnap); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || dsnap.Status != service.StatusCanceled {
+		t.Fatalf("DELETE via proxy: code %d, status %q", dresp.StatusCode, dsnap.Status)
+	}
+	// The remote job is gone from n2's queue, not just hidden locally.
+	hresp, err := http.Get(n2 + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Queued int `json:"queued"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Queued != 0 {
+		t.Errorf("owner still has %d queued jobs after propagated DELETE", health.Queued)
+	}
+	// And the local handle stays canceled on re-read.
+	if snap, _ := clusterSnap(t, n1, v.ID); snap.Status != service.StatusCanceled {
+		t.Errorf("proxy handle status %q after DELETE, want canceled", snap.Status)
+	}
+}
+
+// TestStoreRestartSingleNode: the persistent store works without a
+// cluster — a restarted single node serves its old verdicts as disk hits.
+func TestStoreRestartSingleNode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	srv1, err := service.New(service.Config{StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	resp, body := post(t, ts1.URL, "/v1/verify", nil,
+		service.VerifyRequest{Source: corpusSource(t, "SB"), Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var first verifyView
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := service.New(service.Config{StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv2.Drain(ctx)
+	})
+	resp, body = post(t, ts2.URL, "/v1/verify", nil,
+		service.VerifyRequest{Source: corpusSource(t, "SB"), Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var second verifyView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Source != service.CachedDisk {
+		t.Fatalf("want a disk hit after restart, got %s", body)
+	}
+	if second.Result == nil || first.Result == nil || second.Result.States != first.Result.States {
+		t.Fatalf("disk verdict differs: %s vs %+v", body, first.Result)
+	}
+}

@@ -9,12 +9,15 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/parser"
+	"repro/internal/prog"
+	"repro/internal/verkey"
 )
 
-// VerifyRequest is the JSON body of POST /v1/verify. A text/plain body is
-// also accepted and treated as {"source": <body>} with every knob at its
-// default.
+// VerifyRequest is the JSON body of POST /v1/verify (and one item of
+// POST /v1/verify/batch). A text/plain body is also accepted and treated
+// as {"source": <body>} with every knob at its default.
 type VerifyRequest struct {
 	// Source is the .lit program text.
 	Source string `json:"source"`
@@ -51,11 +54,22 @@ type errorJSON struct {
 	Col   int    `json:"col,omitempty"`
 }
 
+// cachedJSON is the 200 body for a verdict served without running a job.
+// Source says where it came from: "memory", "disk", or "peer".
+type cachedJSON struct {
+	Cached bool    `json:"cached"`
+	Source string  `json:"source"`
+	Result *Result `json:"result"`
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/result", s.handlePushResult)
+	s.mux.HandleFunc("POST /v1/steal", s.handleSteal)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 }
@@ -72,14 +86,37 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
+// clampLimits resolves a request's exploration and deadline knobs against
+// the server's bounds.
+func (s *Server) clampLimits(req VerifyRequest) (maxStates int, timeout time.Duration) {
+	maxStates = s.cfg.MaxStates
+	if req.MaxStates > 0 && req.MaxStates < maxStates {
+		maxStates = req.MaxStates
+	}
+	timeout = s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return maxStates, timeout
+}
+
 // handleVerify parses, canonicalizes, and admits a verification request.
 // Responses:
 //
-//	200 — verdict served from the cache (or Wait and the job finished)
-//	202 — job admitted; poll Location
+//	200 — verdict served from a cache (memory, disk, or peer), or Wait
+//	      and the job finished
+//	202 — job admitted (locally or on the owning peer); poll Location
 //	400 — malformed request or program (parse errors carry line/col)
 //	429 — worker pool and queue saturated; Retry-After hints a backoff
 //	503 — server draining
+//
+// In a cluster, a program owned by another node is forwarded there (one
+// hop — forwarded requests carry X-Rocker-Forwarded and are always
+// handled locally by the receiver); if the owner is unreachable after
+// bounded retries the request degrades to local verification.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
 	if err != nil {
@@ -141,25 +178,26 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	maxStates := s.cfg.MaxStates
-	if req.MaxStates > 0 && req.MaxStates < maxStates {
-		maxStates = req.MaxStates
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
+	maxStates, timeout := s.clampLimits(req)
+	d := prog.CanonicalDigest(p)
+	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce)
+
+	if res, source := s.cachedResult(key); res != nil {
+		writeJSON(w, http.StatusOK, cachedJSON{Cached: true, Source: source, Result: res})
+		return
 	}
 
-	j, cached, outcome := s.submit(p, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
+	if s.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
+		if owner := s.cluster.Owner(d); !s.cluster.IsSelf(owner) {
+			if s.forwardVerify(w, r, owner, req, d, key, maxStates, timeout) {
+				return
+			}
+			// Owner unreachable after bounded retries: verify locally.
+		}
+	}
+
+	j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
 	switch outcome {
-	case submitCached:
-		writeJSON(w, http.StatusOK, struct {
-			Cached bool    `json:"cached"`
-			Result *Result `json:"result"`
-		}{true, cached})
 	case submitSaturated:
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
@@ -190,17 +228,25 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	if j.remote != nil {
+		s.proxyJobGet(w, r, j)
+		return
+	}
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 // handleJobStream emits one Snapshot JSON object per line (NDJSON) every
 // StreamInterval until the job reaches a terminal status; the final line
 // carries the result or error. Clients get live states/sec without
-// polling.
+// polling. Forwarded handles relay the owner's stream.
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.remote != nil {
+		s.proxyJobStream(w, r, j)
 		return
 	}
 	fl, ok := w.(http.Flusher)
@@ -241,20 +287,28 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 
 // handleJobDelete cancels a queued or running job. The job transitions to
 // status canceled (never a verdict); a job already terminal is left as-is.
+// Forwarded handles propagate the DELETE to the owning peer; stolen jobs
+// resolve locally (the thief's eventual push loses to the terminal status
+// recorded here).
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	if j.remote != nil {
+		s.proxyJobDelete(w, r, j)
+		return
+	}
 	j.cancel(errDeleted)
-	// A queued job has no worker polling its context yet: resolve it here
-	// so DELETE is prompt regardless of queue position. finish is
-	// idempotent, so racing the worker is harmless.
+	// A queued job has no worker polling its context yet, and a stolen
+	// job's runner is a peer that never sees this context: resolve both
+	// here so DELETE is prompt. finish is idempotent, so racing the worker
+	// (or the thief's push) is harmless.
 	j.mu.Lock()
-	queued := j.status == StatusQueued
+	resolveHere := j.status == StatusQueued || j.stolenBy != ""
 	j.mu.Unlock()
-	if queued {
+	if resolveHere {
 		j.finish(StatusCanceled, nil, fmt.Sprintf("canceled: %v", errDeleted))
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
@@ -277,13 +331,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{!draining, draining, queued, running})
 }
 
+// storeStatsJSON mirrors vstore.Stats in the /v1/stats body.
+type storeStatsJSON struct {
+	Records        int   `json:"records"`
+	Bytes          int64 `json:"bytes"`
+	Puts           int64 `json:"puts"`
+	Syncs          int64 `json:"syncs"`
+	Recovered      int64 `json:"recovered"`
+	TruncatedBytes int64 `json:"truncatedBytes"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.counts()
 	entries, hits, misses := s.cache.stats()
 	s.mu.Lock()
 	submitted := s.nextID
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
+	body := struct {
 		UptimeSec    float64 `json:"uptimeSec"`
 		Submitted    int64   `json:"submitted"`
 		Queued       int     `json:"queued"`
@@ -292,6 +356,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits    int64   `json:"cacheHits"`
 		CacheMisses  int64   `json:"cacheMisses"`
 		HeapBytes    uint64  `json:"heapBytes"`
+
+		// Per-source verdict counters (see netStats).
+		MemoryHits   int64 `json:"memoryHits"`
+		DiskHits     int64 `json:"diskHits"`
+		PeerForwards int64 `json:"peerForwards"`
+		ForwardFails int64 `json:"forwardFails"`
+		Steals       int64 `json:"steals"`
+		Stolen       int64 `json:"stolen"`
+		BatchItems   int64 `json:"batchItems"`
+
+		Node  string          `json:"node,omitempty"`
+		Peers []string        `json:"peers,omitempty"`
+		Store *storeStatsJSON `json:"store,omitempty"`
 	}{
 		UptimeSec:    time.Since(s.start).Seconds(),
 		Submitted:    submitted,
@@ -301,5 +378,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		HeapBytes:    sampleHeap(),
-	})
+		MemoryHits:   s.nstats.memoryHits.Load(),
+		DiskHits:     s.nstats.diskHits.Load(),
+		PeerForwards: s.nstats.peerForwards.Load(),
+		ForwardFails: s.nstats.forwardFails.Load(),
+		Steals:       s.nstats.steals.Load(),
+		Stolen:       s.nstats.stolen.Load(),
+		BatchItems:   s.nstats.batchItems.Load(),
+	}
+	if s.cluster != nil {
+		body.Node = s.cluster.Self().ID
+		for _, m := range s.cluster.Peers() {
+			body.Peers = append(body.Peers, m.ID)
+		}
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		body.Store = &storeStatsJSON{
+			Records:        st.Records,
+			Bytes:          st.Bytes,
+			Puts:           st.Puts,
+			Syncs:          st.Syncs,
+			Recovered:      st.Recovered,
+			TruncatedBytes: st.Truncated,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

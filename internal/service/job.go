@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/prog"
@@ -46,6 +47,18 @@ const (
 	StatusDone     = "done"
 	StatusCanceled = "canceled"
 	StatusFailed   = "failed"
+	// StatusForwarded marks a local handle for a job owned by a cluster
+	// peer: GET/DELETE/stream proxy to the owner, and the local status
+	// flips to the observed terminal status once the owner reports one.
+	StatusForwarded = "forwarded"
+)
+
+// Cache-hit sources, reported in cached responses, batch lines, and the
+// per-source /v1/stats counters.
+const (
+	CachedMemory = "memory" // in-memory LRU
+	CachedDisk   = "disk"   // persistent verdict store (vstore)
+	CachedPeer   = "peer"   // served by the owning cluster peer
 )
 
 // Result is the JSON-serializable outcome of a completed verification.
@@ -93,6 +106,7 @@ type job struct {
 	digest prog.Digest
 	key    string // verdict-cache key
 	prg    *lang.Program
+	src    string // original source text, retained for steal handover
 
 	maxStates   int
 	workers     int
@@ -105,13 +119,25 @@ type job struct {
 
 	created time.Time
 
-	// mu guards status, result, err, started, finished.
+	// remote, when non-nil, makes this a forwarded handle: the job runs
+	// on the named peer under remote.id and this node proxies to it.
+	// Immutable after creation.
+	remote *remoteRef
+
+	// mu guards status, result, err, started, finished, stolenBy,
+	// memoized.
 	mu       sync.Mutex
 	status   string
 	result   *Result
 	err      string
 	started  time.Time
 	finished time.Time
+	// stolenBy names the peer that took this queued job via /v1/steal;
+	// the terminal status arrives through POST /v1/jobs/{id}/result.
+	stolenBy string
+	// memoized dedups the forwarded handle's cache fill (proxy snapshots
+	// may observe the terminal status more than once).
+	memoized bool
 
 	states   atomic.Int64
 	expanded atomic.Int64
@@ -119,11 +145,27 @@ type job struct {
 	done chan struct{} // closed on reaching a terminal status
 }
 
+// remoteRef names the peer-side identity of a forwarded job.
+type remoteRef struct {
+	node cluster.Member
+	id   string // job id on the owning peer
+}
+
+// isStolen reports whether a peer took this job via /v1/steal.
+func (j *job) isStolen() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stolenBy != ""
+}
+
 // errDeleted marks client-requested cancellation (DELETE /v1/jobs/{id}).
 var errDeleted = errors.New("canceled by client")
 
 // errDrained marks jobs cut off by a forced shutdown.
 var errDrained = errors.New("server shutting down")
+
+// errLost marks a stolen job whose thief never reported back.
+var errLost = errors.New("stolen job lost: thief never pushed a result")
 
 // Snapshot is the polling view of a job (GET /v1/jobs/{id} and each line
 // of the NDJSON stream).

@@ -7,20 +7,38 @@
 // cancellation, memoizes verdicts in an LRU keyed by the program's
 // canonical LTS digest (prog.CanonicalDigest — hits are independent of
 // label names, register names, whitespace and comments), and exposes live
-// exploration progress by polling and NDJSON streaming. See docs/rockerd.md
-// for the HTTP API.
+// exploration progress by polling and NDJSON streaming.
+//
+// Two optional layers scale the single process out:
+//
+//   - A persistent verdict store (internal/vstore, Config.StorePath):
+//     completed verdicts are appended to a crash-recoverable disk log
+//     beneath the LRU, so restarts keep their history — a repeat
+//     submission after a reboot is a disk hit, not a re-exploration.
+//   - Cluster routing (internal/cluster, Config.Cluster): rendezvous
+//     hashing on the canonical digest assigns each program an owning
+//     node; non-owners forward with bounded retry and degrade to local
+//     verification when the owner is unreachable, idle nodes steal queued
+//     jobs from loaded peers, and DELETE propagates through forwarded
+//     handles. See docs/rockerd.md "Clustering".
+//
+// See docs/rockerd.md for the HTTP API.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/lang"
 	"repro/internal/prog"
+	"repro/internal/verkey"
+	"repro/internal/vstore"
 )
 
 // Config sizes the service. The zero value is usable: every field has a
@@ -53,6 +71,28 @@ type Config struct {
 	MaxFinished int
 	// StreamInterval is the NDJSON progress cadence (default 250ms).
 	StreamInterval time.Duration
+
+	// StorePath, when set, opens (or creates) the persistent verdict log
+	// at that path: completed verdicts are appended beneath the LRU and
+	// survive restarts. Empty means memory-only. Store tunes the log's
+	// fsync batching.
+	StorePath string
+	Store     vstore.Config
+
+	// Cluster, when non-nil, joins this node to a digest-addressed
+	// rockerd cluster: requests whose program is owned elsewhere are
+	// forwarded (degrading to local verification if the owner is
+	// unreachable), and the steal loop pulls queued jobs from loaded
+	// peers while this node is idle.
+	Cluster *cluster.Cluster
+	// StealInterval is the idle-node work-stealing poll cadence
+	// (default 250ms; negative disables stealing).
+	StealInterval time.Duration
+
+	// MaxBatchItems bounds one POST /v1/verify/batch request
+	// (default 1024). MaxBatchBytes bounds its body (default 32 MiB).
+	MaxBatchItems int
+	MaxBatchBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,16 +123,29 @@ func (c Config) withDefaults() Config {
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = 250 * time.Millisecond
 	}
+	if c.StealInterval == 0 {
+		c.StealInterval = 250 * time.Millisecond
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 1024
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 32 << 20
+	}
 	return c
 }
 
 // Server is the rockerd service: an http.Handler plus the job machinery
 // behind it. Create with New, serve via any http.Server, stop with Drain.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *verdictCache
-	start time.Time
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *verdictCache
+	store   *vstore.Store    // nil when StorePath is empty
+	cluster *cluster.Cluster // nil for a single node
+	start   time.Time
+
+	nstats netStats
 
 	// mu guards jobs, finished, draining, nextID, and pairs the queue's
 	// send-side with the draining flag so a submission never races the
@@ -104,17 +157,33 @@ type Server struct {
 	nextID   int64
 	queue    chan *job
 
-	workers sync.WaitGroup
+	workers  sync.WaitGroup
+	watchers sync.WaitGroup // per-job memoize/retire goroutines
+
+	stealStop chan struct{}
+	stealOnce sync.Once
+	stealDone chan struct{}
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, opens its persistent store if configured, and
+// starts the worker pool (and, in a cluster, the steal loop).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newVerdictCache(cfg.CacheSize),
-		jobs:  make(map[string]*job),
-		start: time.Now(),
+		cfg:       cfg,
+		cache:     newVerdictCache(cfg.CacheSize),
+		cluster:   cfg.Cluster,
+		jobs:      make(map[string]*job),
+		start:     time.Now(),
+		stealStop: make(chan struct{}),
+		stealDone: make(chan struct{}),
+	}
+	if cfg.StorePath != "" {
+		st, err := vstore.Open(cfg.StorePath, cfg.Store)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening verdict store: %w", err)
+		}
+		s.store = st
 	}
 	s.queue = make(chan *job, s.cfg.MaxQueue)
 	s.mux = http.NewServeMux()
@@ -128,7 +197,12 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	if s.cluster != nil && s.cfg.StealInterval > 0 {
+		go s.stealLoop()
+	} else {
+		close(s.stealDone)
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -142,10 +216,14 @@ var ErrDrainTimeout = errors.New("service: drain deadline exceeded; in-flight jo
 
 // Drain stops the service gracefully: new submissions are rejected with
 // 503 immediately, queued and running jobs keep going, and Drain returns
-// once the pool is idle. If ctx expires first, every remaining job is
-// canceled (terminal status canceled, not a verdict) and ErrDrainTimeout
-// is returned after the pool exits. Drain is idempotent; cmd/rockerd
-// calls it on SIGTERM between http.Server.Shutdown and process exit.
+// once the pool is idle and the verdict store is flushed and closed. If
+// ctx expires first, every remaining job is canceled (terminal status
+// canceled, not a verdict) and ErrDrainTimeout is returned after the pool
+// exits. Jobs whose runner is remote (stolen by a peer, or forwarded
+// handles) are resolved as canceled rather than awaited — the peer's
+// answer has nowhere to land once this process exits. Drain is
+// idempotent; cmd/rockerd calls it on SIGTERM between http.Server.Shutdown
+// and process exit.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -153,44 +231,106 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	s.stopSteal()
 
 	idle := make(chan struct{})
 	go func() {
 		s.workers.Wait()
 		close(idle)
 	}()
+	var derr error
 	select {
 	case <-idle:
-		return nil
 	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel(errDrained)
+		}
+		s.mu.Unlock()
+		<-idle
+		derr = ErrDrainTimeout
 	}
+
+	// Resolve jobs that have no local runner (stolen or forwarded): their
+	// watcher goroutines would otherwise wait on a remote peer that may
+	// never answer a drained server.
 	s.mu.Lock()
 	for _, j := range s.jobs {
-		j.cancel(errDrained)
+		if j.remote != nil || j.isStolen() {
+			j.cancel(errDrained)
+			j.finish(StatusCanceled, nil, fmt.Sprintf("canceled: %v", errDrained))
+		}
 	}
 	s.mu.Unlock()
-	<-idle
-	return ErrDrainTimeout
+
+	s.watchers.Wait()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && derr == nil {
+			derr = err
+		}
+	}
+	return derr
+}
+
+// stopSteal shuts the steal loop down exactly once.
+func (s *Server) stopSteal() {
+	s.stealOnce.Do(func() { close(s.stealStop) })
+	<-s.stealDone
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // submitOutcome tells the handler how a submission was resolved.
 type submitOutcome int
 
 const (
-	submitQueued submitOutcome = iota
-	submitCached
-	submitSaturated // queue full: 429
-	submitDraining  // shutting down: 503
+	submitQueued    submitOutcome = iota
+	submitSaturated               // queue full: 429
+	submitDraining                // shutting down: 503
 )
 
-// submit admits a verification request: cache hit, enqueued job, or
-// rejection. req must already be validated.
-func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout time.Duration, staticPrune, reduce bool) (*job, *Result, submitOutcome) {
-	d := prog.CanonicalDigest(p)
-	key := s.cacheKey(d, mode, maxStates, staticPrune, reduce)
+// cachedResult consults the verdict caches for key: the in-memory LRU
+// first, then the persistent store, promoting a disk hit into the LRU.
+// source is "memory" or "disk" on a hit, "" on a miss.
+func (s *Server) cachedResult(key string) (*Result, string) {
 	if res := s.cache.get(key); res != nil {
-		return nil, res, submitCached
+		s.nstats.memoryHits.Add(1)
+		return res, CachedMemory
 	}
+	if s.store != nil {
+		if data, ok, err := s.store.Get(key); err == nil && ok {
+			var res Result
+			if json.Unmarshal(data, &res) == nil {
+				s.cache.put(key, &res)
+				s.nstats.diskHits.Add(1)
+				return &res, CachedDisk
+			}
+		}
+	}
+	return nil, ""
+}
+
+// memoize records a completed verdict in the LRU and, if configured, the
+// persistent store.
+func (s *Server) memoize(key string, res *Result, persist bool) {
+	s.cache.put(key, res)
+	if persist && s.store != nil {
+		if data, err := json.Marshal(res); err == nil {
+			_ = s.store.Put(key, data)
+		}
+	}
+}
+
+// submit admits a verification request as a new job. The caller has
+// already checked the caches (see cachedResult); a racing duplicate at
+// worst verifies twice, it never serves a wrong verdict.
+func (s *Server) submit(p *lang.Program, src, mode string, maxStates int, timeout time.Duration, staticPrune, reduce bool) (*job, submitOutcome) {
+	d := prog.CanonicalDigest(p)
+	key := verkey.Key(d, mode, maxStates, staticPrune, reduce)
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{
@@ -198,6 +338,7 @@ func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout tim
 		digest:      d,
 		key:         key,
 		prg:         p,
+		src:         src,
 		maxStates:   maxStates,
 		workers:     s.cfg.Workers,
 		timeout:     timeout,
@@ -214,32 +355,36 @@ func (s *Server) submit(p *lang.Program, mode string, maxStates int, timeout tim
 	if s.draining {
 		s.mu.Unlock()
 		cancel(errDrained)
-		return nil, nil, submitDraining
+		return nil, submitDraining
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
 		cancel(errDrained)
-		return nil, nil, submitSaturated
+		return nil, submitSaturated
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	// Memoize and evict when the job reaches a terminal status.
+	// Memoize and evict when the job reaches a terminal status. Stolen
+	// jobs resolve through the same channel: the pushed result calls
+	// finish, and this watcher persists it.
+	s.watchers.Add(1)
 	go func() {
+		defer s.watchers.Done()
 		<-j.done
 		j.mu.Lock()
 		res := j.result
 		j.mu.Unlock()
 		if res != nil {
-			s.cache.put(j.key, res)
+			s.memoize(j.key, res, true)
 		}
 		s.retire(j.id)
 	}()
-	return j, nil, submitQueued
+	return j, submitQueued
 }
 
 // retire records a terminal job for eviction and drops the oldest
@@ -255,24 +400,6 @@ func (s *Server) retire(id string) {
 	}
 }
 
-// cacheKey derives the verdict-cache key. The digest captures the LTS;
-// mode and the effective state bound are the only request knobs that can
-// change a verdict (engine worker counts cannot, by the engines'
-// determinism contract). Static pruning and partial-order reduction never
-// change a verdict either, but they do change the reported state counts
-// and the result's certificate/prunedLocs/reduction-counter fields, so
-// each combination memoizes under its own key.
-func (s *Server) cacheKey(d prog.Digest, mode string, maxStates int, staticPrune, reduce bool) string {
-	p := 0
-	if staticPrune {
-		p = 1
-	}
-	if reduce {
-		p |= 2
-	}
-	return fmt.Sprintf("%s|%s|%d|%d", d, mode, maxStates, p)
-}
-
 // getJob looks up a job by id.
 func (s *Server) getJob(id string) *job {
 	s.mu.Lock()
@@ -280,7 +407,9 @@ func (s *Server) getJob(id string) *job {
 	return s.jobs[id]
 }
 
-// counts returns (queued, running) for health reporting.
+// counts returns (queued, running) for health reporting. Jobs running
+// remotely (stolen by a peer) count as running: they are this node's
+// responsibility until the result lands.
 func (s *Server) counts() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -290,6 +419,25 @@ func (s *Server) counts() (queued, running int) {
 		case StatusQueued:
 			queued++
 		case StatusRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return
+}
+
+// localLoad reports queue depth and locally running jobs (excluding ones
+// a peer stole — those occupy no local worker). The steal loop uses it to
+// decide idleness.
+func (s *Server) localLoad() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch {
+		case j.status == StatusQueued:
+			queued++
+		case j.status == StatusRunning && j.stolenBy == "":
 			running++
 		}
 		j.mu.Unlock()

@@ -40,7 +40,10 @@ end
 
 func newTestServer(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
 	t.Helper()
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

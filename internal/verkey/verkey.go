@@ -1,0 +1,40 @@
+// Package verkey builds the canonical verdict-cache key. Three layers
+// address completed verdicts — the in-memory LRU (internal/service), the
+// persistent on-disk store (internal/vstore), and the digest-addressed
+// cluster routing (internal/cluster) — and all of them must agree on what
+// "the same verification" means, or a cache could serve a verdict computed
+// under different bounds. Centralizing the key in one function makes that
+// agreement structural: there is exactly one place the key format lives,
+// and TestKeyPinned pins it byte-for-byte (keys are persisted by vstore,
+// so a refactor must not silently change them).
+package verkey
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Key returns the verdict-cache key for one verification question:
+//
+//	<digest>|<mode>|<maxStates>|<flagBits>
+//
+// where digest is the 32-hex-digit prog.CanonicalDigest (name-free, so
+// digest-equal programs share verdicts), mode is the service mode string
+// ("ra", "sra", "sc", "state-ra", ...), maxStates is the effective
+// exploration bound, and flagBits packs the request knobs that change the
+// *reported* result without changing the verdict: bit 1 = staticPrune
+// (certificate/prunedLocs fields, possibly 0 states), bit 2 = reduce
+// (reduction counters, smaller state counts). Engine worker counts are
+// deliberately absent: verdicts and exact-mode state counts are
+// worker-independent by the engines' determinism contract.
+func Key(d prog.Digest, mode string, maxStates int, staticPrune, reduce bool) string {
+	bits := 0
+	if staticPrune {
+		bits = 1
+	}
+	if reduce {
+		bits |= 2
+	}
+	return fmt.Sprintf("%s|%s|%d|%d", d, mode, maxStates, bits)
+}

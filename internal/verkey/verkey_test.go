@@ -1,0 +1,53 @@
+package verkey
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// TestKeyPinned pins the exact key format. vstore persists these keys on
+// disk and cluster peers exchange them implicitly (by routing on the
+// digest prefix), so the format is a compatibility surface: if this test
+// fails, either bump the vstore file magic or keep the format.
+func TestKeyPinned(t *testing.T) {
+	var d prog.Digest
+	for i := range d {
+		d[i] = byte(i + 1) // 0102030405060708090a0b0c0d0e0f10
+	}
+	cases := []struct {
+		mode       string
+		maxStates  int
+		prune, red bool
+		want       string
+	}{
+		{"ra", 8 << 20, false, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|0"},
+		{"ra", 8 << 20, true, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|1"},
+		{"ra", 8 << 20, false, true, "0102030405060708090a0b0c0d0e0f10|ra|8388608|2"},
+		{"sra", 1000, true, true, "0102030405060708090a0b0c0d0e0f10|sra|1000|3"},
+		{"state-tso", 42, false, false, "0102030405060708090a0b0c0d0e0f10|state-tso|42|0"},
+	}
+	for _, c := range cases {
+		if got := Key(d, c.mode, c.maxStates, c.prune, c.red); got != c.want {
+			t.Errorf("Key(%s,%d,%v,%v) = %q, want %q", c.mode, c.maxStates, c.prune, c.red, got, c.want)
+		}
+	}
+}
+
+// TestKeyDistinguishesKnobs checks every knob independently changes the key.
+func TestKeyDistinguishesKnobs(t *testing.T) {
+	var d1, d2 prog.Digest
+	d2[0] = 0xff
+	base := Key(d1, "ra", 100, false, false)
+	for name, other := range map[string]string{
+		"digest":      Key(d2, "ra", 100, false, false),
+		"mode":        Key(d1, "sc", 100, false, false),
+		"maxStates":   Key(d1, "ra", 101, false, false),
+		"staticPrune": Key(d1, "ra", 100, true, false),
+		"reduce":      Key(d1, "ra", 100, false, true),
+	} {
+		if other == base {
+			t.Errorf("changing %s does not change the key %q", name, base)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package vstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTrip writes records of assorted sizes, closes, reopens, and
+// reads every one back.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncInterval: -1})
+	want := map[string][]byte{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("digest%032d|ra|8388608|%d", i, i%4)
+		val := []byte(fmt.Sprintf(`{"mode":"ra","robust":%v,"states":%d}`, i%2 == 0, i*31))
+		want[key] = val
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(s *Store) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+		}
+		for k, v := range want {
+			got, ok, err := s.Get(k)
+			if err != nil || !ok || string(got) != string(v) {
+				t.Fatalf("Get(%q) = %q, %v, %v; want %q", k, got, ok, err, v)
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openT(t, path, Config{SyncInterval: -1})
+	defer s.Close()
+	check(s)
+	if st := s.Stats(); st.Recovered != 200 || st.Truncated != 0 {
+		t.Fatalf("recovery stats %+v, want 200 recovered, 0 truncated", st)
+	}
+}
+
+// TestLatestWins overwrites a key and checks the newest record wins both
+// live and across a reopen.
+func TestLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncInterval: -1})
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, _ := s.Get("k")
+	if !ok || string(got) != "v4" {
+		t.Fatalf("live Get = %q, %v", got, ok)
+	}
+	s.Close()
+
+	s = openT(t, path, Config{SyncInterval: -1})
+	defer s.Close()
+	got, ok, _ = s.Get("k")
+	if !ok || string(got) != "v4" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (index collapses overwrites)", s.Len())
+	}
+}
+
+// TestCrashRecoveryTornTail is the satellite's crash test: write records,
+// truncate the log mid-record to simulate a torn write, reopen, and
+// assert every intact verdict is readable while the torn tail is
+// discarded — and that the file itself was truncated back to the last
+// record boundary so the next append starts clean.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncInterval: -1})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intactSize := s.Stats().Bytes
+	if err := s.Put("torn", []byte("this record will be cut mid-way")); err != nil {
+		t.Fatal(err)
+	}
+	tornSize := s.Stats().Bytes
+	s.Close()
+
+	// Simulate the crash: cut the last record in half.
+	cut := intactSize + (tornSize-intactSize)/2
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openT(t, path, Config{SyncInterval: -1})
+	defer s.Close()
+	st := s.Stats()
+	if st.Recovered != 10 {
+		t.Fatalf("recovered %d records, want 10", st.Recovered)
+	}
+	if st.Truncated != cut-intactSize {
+		t.Fatalf("truncated %d bytes, want %d", st.Truncated, cut-intactSize)
+	}
+	if st.Bytes != intactSize {
+		t.Fatalf("post-recovery size %d, want %d", st.Bytes, intactSize)
+	}
+	if _, ok, _ := s.Get("torn"); ok {
+		t.Fatal("torn record survived recovery")
+	}
+	for i := 0; i < 10; i++ {
+		got, ok, err := s.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(got) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("k%d after recovery: %q, %v, %v", i, got, ok, err)
+		}
+	}
+
+	// And the log keeps working: append after recovery, reopen once more.
+	if err := s.Put("after", []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s = openT(t, path, Config{SyncInterval: -1})
+	defer s.Close()
+	if got, ok, _ := s.Get("after"); !ok || string(got) != "recovery" {
+		t.Fatalf("post-recovery append lost: %q, %v", got, ok)
+	}
+}
+
+// TestCrashRecoveryCorruptTail flips a byte inside the final record's
+// payload: the CRC must reject it and recovery must drop it.
+func TestCrashRecoveryCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncInterval: -1})
+	s.Put("good", []byte("kept"))
+	mid := s.Stats().Bytes
+	s.Put("bad", []byte("bitrot-target"))
+	s.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the last record's value.
+	if _, err := f.WriteAt([]byte{0xff}, mid+recHeaderLen+int64(len("bad"))+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s = openT(t, path, Config{SyncInterval: -1})
+	defer s.Close()
+	if _, ok, _ := s.Get("bad"); ok {
+		t.Fatal("corrupt record served")
+	}
+	if got, ok, _ := s.Get("good"); !ok || string(got) != "kept" {
+		t.Fatalf("intact record lost: %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Truncated == 0 {
+		t.Fatalf("stats report no truncation: %+v", st)
+	}
+}
+
+// TestRejectsForeignFile checks Open refuses a file that is not a verdict
+// log instead of truncating it.
+func TestRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notalog")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Config{SyncInterval: -1}); err == nil {
+		t.Fatal("Open accepted a non-log file")
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "something else entirely" {
+		t.Fatal("Open modified a foreign file")
+	}
+}
+
+// TestSyncBatching checks fsyncs are batched by SyncEvery, with Sync and
+// Close flushing the partial batch.
+func TestSyncBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncEvery: 8, SyncInterval: -1})
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if st := s.Stats(); st.Syncs != 2 {
+		t.Fatalf("syncs after 20 puts with SyncEvery=8: %d, want 2", st.Syncs)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Syncs != 3 {
+		t.Fatalf("explicit Sync did not flush the partial batch: %+v", st)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Syncs != 3 {
+		t.Fatalf("empty Sync still hit the disk: %+v", st)
+	}
+	s.Close()
+}
+
+// TestConcurrent hammers puts and gets from many goroutines; run under
+// -race this pins the locking discipline.
+func TestConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.log")
+	s := openT(t, path, Config{SyncEvery: 32})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*200+i)%64)
+				if err := s.Put(key, []byte(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", s.Len())
+	}
+}
