@@ -40,6 +40,8 @@ func main() {
 		variants  = flag.Int("variants", 2, "renamed/permuted variants per program for the digest-invariance check")
 		maxStates = flag.Int("maxstates", 0, "SCM-route state bound per engine run (0: default)")
 		raStates  = flag.Int("rastates", 0, "RA-machine state bound per run (0: default)")
+		tsoStates = flag.Int("tsostates", 0, "TSO-machine state bound per run, instrumented and exhaustive legs (0: RA bound)")
+		noTSO     = flag.Bool("notso", false, "skip the instrumented-vs-exhaustive TSO cross-check")
 		threads   = flag.Int("threads", 0, "max threads per generated program (0: default)")
 		stmts     = flag.Int("stmts", 0, "max statements per thread (0: default)")
 		verbose   = flag.Bool("v", false, "log every finding as it is discovered")
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	g := gen.New(gen.Config{Seed: *seed, MaxThreads: *threads, MaxStmts: *stmts})
-	cfg := diffcheck.Config{MaxStates: *maxStates, RAMaxStates: *raStates}
+	cfg := diffcheck.Config{MaxStates: *maxStates, RAMaxStates: *raStates, TSOMaxStates: *tsoStates, SkipTSO: *noTSO}
 	var deadline time.Time
 	if *budget > 0 {
 		deadline = time.Now().Add(*budget)

@@ -11,8 +11,19 @@
 //	rocker -list                    # list the built-in corpus
 //	rocker vet file.lit...          # lint programs, non-zero exit on findings
 //
+// The cross-model verdict matrix: -models runs the same program under
+// several memory models and prints one verdict row per model, e.g.
+//
+//	rocker -models ra,sra,tso,sc -corpus barrier
+//	rocker -models ra,tso,state-tso -all
+//	rocker -list-modes              # describe the registered modes
+//
 // Flags:
 //
+//	-models M1,M2 run each listed verification mode (see -list-modes) and
+//	              print one verdict per mode; with -all, one matrix row
+//	              per corpus program
+//	-list-modes   list the registered verification modes
 //	-full         disable the §5.1 abstract value management (ablation)
 //	-hashcompact  store 128-bit state hashes instead of full encodings
 //	-max N        abort after N states (0 = unbounded)
@@ -41,10 +52,15 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"errors"
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
 	"repro/internal/parser"
+	"repro/internal/staterobust"
 )
 
 // main delegates to run so that the profiling defers flush on every exit
@@ -58,7 +74,7 @@ func run() int {
 		return runVet(os.Args[2:])
 	}
 	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
-	model := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")
+	modelFlag := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")
 	hashCompact := flag.Bool("hashcompact", false, "hash-compact visited set")
 	maxStates := flag.Int("max", 0, "state bound (0 = unbounded)")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = sequential)")
@@ -68,6 +84,8 @@ func run() int {
 	prune := flag.Bool("prune", false, "run the static conflict-analysis pre-pass before exploring")
 	noReduce := flag.Bool("noreduce", false, "disable partial-order reduction (ample sets, sleep sets, thread symmetry)")
 	explain := flag.Bool("explain", false, "print the static-analysis report (implies -prune)")
+	models := flag.String("models", "", "comma-separated verification modes for a cross-model verdict matrix (see -list-modes)")
+	listModes := flag.Bool("list-modes", false, "list the registered verification modes")
 	corpusName := flag.String("corpus", "", "verify a built-in corpus program")
 	list := flag.Bool("list", false, "list built-in corpus programs")
 	all := flag.Bool("all", false, "verify the whole corpus and compare against the expected verdicts")
@@ -105,6 +123,45 @@ func run() int {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *listModes {
+		for _, in := range model.Infos() {
+			kind := "state"
+			if in.Graph {
+				kind = "graph"
+			}
+			fmt.Printf("%-10s %-5s %-42s %s\n", in.Mode, kind, in.Checker, in.Desc)
+		}
+		return 0
+	}
+
+	if *models != "" {
+		modes, err := matrixModes(*models)
+		if err != nil {
+			fatal(err)
+		}
+		opts := model.RunOpts{
+			MaxStates:   *maxStates,
+			Workers:     *workers,
+			StaticPrune: *prune,
+			Reduce:      !*noReduce,
+			Ctx:         ctx,
+		}
+		if opts.MaxStates == 0 {
+			// The matrix runs several exhaustive explorations back to back;
+			// default to a finite budget so one pathological row degrades to
+			// a "bound" cell instead of hanging the whole table.
+			opts.MaxStates = matrixDefaultMax
+		}
+		if *all {
+			return matrixAll(modes, opts)
+		}
+		program := loadProgram(*corpusName)
+		for _, mode := range modes {
+			fmt.Printf("%-10s %s\n", mode, matrixCell(mode, program, opts))
+		}
+		return 0
 	}
 
 	if *all {
@@ -147,35 +204,15 @@ func run() int {
 		return 0
 	}
 
-	var program *lang.Program
-	switch {
-	case *corpusName != "":
-		e, err := litmus.Get(*corpusName)
-		if err != nil {
-			fatal(err)
-		}
-		program = e.Program()
-	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		program, err = parser.Parse(string(src))
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "usage: rocker [flags] file.lit | rocker -corpus name | rocker -list")
-		return 2
-	}
+	program := loadProgram(*corpusName)
 
 	m := core.ModelRA
-	switch *model {
+	switch *modelFlag {
 	case "ra":
 	case "sra":
 		m = core.ModelSRA
 	default:
-		fatal(fmt.Errorf("unknown model %q (want ra or sra)", *model))
+		fatal(fmt.Errorf("unknown model %q (want ra or sra)", *modelFlag))
 	}
 	v, err := core.Verify(program, core.Options{
 		Model:        m,
@@ -229,6 +266,110 @@ func run() int {
 	}
 	if !v.Robust {
 		return 1
+	}
+	return 0
+}
+
+// loadProgram resolves the single-program operand: -corpus name or one
+// .lit file argument.
+func loadProgram(corpusName string) *lang.Program {
+	switch {
+	case corpusName != "":
+		e, err := litmus.Get(corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		return e.Program()
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		p, err := parser.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		return p
+	}
+	fmt.Fprintln(os.Stderr, "usage: rocker [flags] file.lit | rocker -corpus name | rocker -list")
+	os.Exit(2)
+	return nil
+}
+
+// matrixDefaultMax bounds each matrix cell when -max is unset: large
+// enough for every feasible corpus row under every mode, small enough
+// that a pathological product (nbw-w-lr-rl under the TSO modes) degrades
+// to a "bound" cell instead of hanging the table.
+const matrixDefaultMax = 2_000_000
+
+// matrixModes parses and validates the -models list.
+func matrixModes(spec string) ([]string, error) {
+	var out []string
+	for _, m := range strings.Split(spec, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if !model.Valid(m) {
+			return nil, fmt.Errorf("unknown mode %q (supported: %s)", m, model.ModeList())
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-models: empty mode list (supported: %s)", model.ModeList())
+	}
+	return out, nil
+}
+
+// matrixCell runs one mode on one program and renders the verdict cell:
+// ✓/✗ plus the explored-state count, or the reason no verdict exists.
+func matrixCell(mode string, p *lang.Program, opts model.RunOpts) string {
+	rr, err := model.Run(mode, p, opts)
+	switch {
+	case err == nil:
+		mark := "✗"
+		if rr.Robust {
+			mark = "✓"
+		}
+		return fmt.Sprintf("%s %d", mark, rr.States)
+	case errors.Is(err, core.ErrStateBound) || errors.Is(err, staterobust.ErrBound):
+		return "bound"
+	case errors.Is(err, core.ErrCanceled) || errors.Is(err, staterobust.ErrCanceled):
+		return "timeout"
+	}
+	fatal(err)
+	return ""
+}
+
+// matrixAll prints the cross-model verdict matrix over the whole corpus,
+// one row per program, one column per mode.
+func matrixAll(modes []string, opts model.RunOpts) int {
+	fmt.Printf("%-22s", "program")
+	for _, m := range modes {
+		fmt.Printf("  %-12s", m)
+	}
+	fmt.Println()
+	for _, e := range litmus.All() {
+		if e.Big {
+			fmt.Printf("%-22s  (skipped: multi-minute state space; use -corpus %s)\n", e.Name, e.Name)
+			continue
+		}
+		p := e.Program()
+		fmt.Printf("%-22s", e.Name)
+		for _, mode := range modes {
+			cell := matrixCell(mode, p, opts)
+			// ✓/✗ are multi-byte; pad on rune width.
+			fmt.Printf("  %s%s", cell, strings.Repeat(" ", pad(12, cell)))
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+// pad returns the spaces needed to fill cell out to width runes.
+func pad(width int, cell string) int {
+	if n := len([]rune(cell)); n < width {
+		return width - n
 	}
 	return 0
 }

@@ -82,8 +82,13 @@ func TestVerifyCancelMidExploration(t *testing.T) {
 }
 
 // TestVerifyDeadline checks the context.WithTimeout path end to end: a
-// deadline far below the row's runtime interrupts the run and surfaces
-// DeadlineExceeded as the cause.
+// deadline that fires mid-exploration interrupts the run and surfaces
+// DeadlineExceeded as the cause. A bare 1ms deadline is a race on fast
+// machines: with every P saturated by the parallel engine, the runtime
+// may not service the timer before the ~8ms row completes. The progress
+// hook instead parks on ctx.Done() once real work is under way — parking
+// frees a P, so the timer is serviced promptly and the deadline is
+// guaranteed to have fired while exploration is still in flight.
 func TestVerifyDeadline(t *testing.T) {
 	e, err := litmus.Get("lamport2-ra")
 	if err != nil {
@@ -91,7 +96,12 @@ func TestVerifyDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	v, err := core.Verify(e.Program(), core.Options{AbstractVals: true, Ctx: ctx})
+	v, err := core.Verify(e.Program(), core.Options{
+		AbstractVals:  true,
+		Ctx:           ctx,
+		ProgressEvery: 512,
+		Progress:      func(core.Progress) { <-ctx.Done() },
+	})
 	if v != nil || !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("Verify = (%v, %v), want ErrCanceled wrapping DeadlineExceeded", v, err)
 	}

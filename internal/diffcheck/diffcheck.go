@@ -23,6 +23,14 @@
 //     robustness deliberately ignores.
 //   - Model monotonicity: SRA behaviours are a subset of RA behaviours,
 //     so RA-robust implies SRA-robust along both routes.
+//   - Instrumented vs exhaustive TSO: the lazy single-delayer machine
+//     (model.CheckTSO) and the full store-buffer product
+//     (staterobust.CheckTSO) decide the same Definition 2.6 question, so
+//     their verdicts must agree exactly, and on robust programs the lazy
+//     exploration — a subset of the full product by construction — can
+//     never count more states. The comparison is skipped when either run
+//     hits the store-buffer capacity: both truncations under-approximate
+//     and the subset relation between them is no longer a theorem.
 //   - Metamorphic fence insertion (§6, internal/fence): at the *state*
 //     robustness level, inserting an SC fence can only remove weak
 //     behaviours, so it never flips robust to non-robust. Note this is
@@ -54,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fence"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/parser"
 	"repro/internal/prog"
 	"repro/internal/staterobust"
@@ -77,6 +86,11 @@ type Config struct {
 	// them. Used by the minimizer when shrinking a finding that does not
 	// involve the RA route.
 	SkipRA bool
+	// TSOMaxStates bounds each TSO-machine run — both the instrumented
+	// and the exhaustive leg (0 means the RA bound).
+	TSOMaxStates int
+	// SkipTSO disables the instrumented-vs-exhaustive TSO leg.
+	SkipTSO bool
 }
 
 func (c Config) maxStates() int {
@@ -91,6 +105,13 @@ func (c Config) raMaxStates() int {
 		return 10_000
 	}
 	return c.RAMaxStates
+}
+
+func (c Config) tsoMaxStates() int {
+	if c.TSOMaxStates <= 0 {
+		return c.raMaxStates()
+	}
+	return c.TSOMaxStates
 }
 
 func (c Config) parWorkers() int {
@@ -428,6 +449,49 @@ func runBattery(r *Report, p *lang.Program, src string, cfg Config) {
 					r.addf("witness-replay-ra", src, "SRA-machine witness does not replay: %v", err)
 				}
 			}
+		}
+	}
+
+	// Instrumented-vs-exhaustive TSO: two independent implementations of
+	// the same state-robustness question. Verdicts must agree exactly; on
+	// robust programs the lazy single-delayer exploration is a subset of
+	// the full store-buffer product, so its state count can never be
+	// larger. Both legs run with the same Limits, so a bound skip on one
+	// usually means a bound skip on the other.
+	if !cfg.SkipTSO {
+		tsoLim := staterobust.Limits{MaxStates: cfg.tsoMaxStates(), Workers: 1}
+		runTSO := func(name string, check func(*lang.Program, staterobust.Limits) (*staterobust.Result, error)) (*staterobust.Result, bool) {
+			res, err := check(p, tsoLim)
+			if err != nil {
+				if errors.Is(err, staterobust.ErrBound) {
+					r.skip(name)
+				} else {
+					r.addf("engine-error", src, "%s: %v", name, err)
+				}
+				return nil, false
+			}
+			return res, true
+		}
+		inst, instOK := runTSO("tso", model.CheckTSO)
+		var (
+			exh   *staterobust.Result
+			exhOK bool
+		)
+		if instOK {
+			exh, exhOK = runTSO("state-tso", staterobust.CheckTSO)
+		} else {
+			r.skip("state-tso")
+		}
+		switch {
+		case !instOK || !exhOK:
+		case inst.BufBoundHit || exh.BufBoundHit:
+			// A capacity-truncated run under-approximates; the two
+			// truncations are not comparable.
+			r.skip("tso-vs-state-tso")
+		case inst.Robust != exh.Robust:
+			r.addf("tso-vs-state-tso", src, "instrumented TSO robust=%v, exhaustive TSO robust=%v", inst.Robust, exh.Robust)
+		case exh.Robust && inst.Explored > exh.Explored:
+			r.addf("tso-vs-state-tso", src, "instrumented exploration (%d states) exceeds the exhaustive product (%d) on a robust program", inst.Explored, exh.Explored)
 		}
 	}
 

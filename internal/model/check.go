@@ -1,0 +1,209 @@
+package model
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/prog"
+	"repro/internal/staterobust"
+)
+
+// This file is the interface's robustness monitor for the state models:
+// a generic sequential explorer of the program × MemoryModel product that
+// compares every reached program-state projection against the
+// SC-reachable set (Definition 2.6). It is the reference implementation
+// the specialized staterobust engines are parity-tested against, and the
+// engine under the instrumented TSO checker (tsoattack.go).
+
+// Mirrors of staterobust's private exploration knobs (the limits type is
+// shared; its helpers are not exported).
+const (
+	ctxPollMask   = 255
+	progressEvery = 4096
+)
+
+func maxStates(lim staterobust.Limits) int {
+	if lim.MaxStates <= 0 {
+		return 4_000_000
+	}
+	return lim.MaxStates
+}
+
+func ctxDone(lim staterobust.Limits) bool {
+	return lim.Ctx != nil && lim.Ctx.Err() != nil
+}
+
+func canceled(lim staterobust.Limits) error {
+	return fmt.Errorf("%w: %w", staterobust.ErrCanceled, context.Cause(lim.Ctx))
+}
+
+// CheckState decides state robustness of the program against the model:
+// it explores the ε-granular product of the program with mm and reports
+// the first program state not reachable under SC, if any. The Result has
+// staterobust.Result semantics (Explored counts compound states,
+// SCStates/WeakStates count program-state projections, BufBoundHit comes
+// from mm.BoundHit).
+func CheckState(program *lang.Program, mm MemoryModel, lim staterobust.Limits) (*staterobust.Result, error) {
+	scSet, err := staterobust.ReachableSC(program, lim)
+	if err != nil {
+		return nil, err
+	}
+	res := &staterobust.Result{Robust: true, SCStates: len(scSet)}
+	weak := map[string]struct{}{}
+	if err := checkAgainst(program, mm, lim, scSet, weak, res); err != nil {
+		return nil, err
+	}
+	res.WeakStates = len(weak)
+	return res, nil
+}
+
+// checkAgainst explores one program × mm product, accumulating into res:
+// Explored grows by this run's compound-state count, Robust/WitnessTrace
+// are set on the first projection outside scSet, BufBoundHit ORs in
+// mm.BoundHit. weak is the shared projection dedup set — callers running
+// several products against one scSet (the attack loop) pass the same map
+// so projections are checked once and WeakStates counts the union. The
+// state bound applies to res.Explored, i.e. across the whole sequence of
+// products, matching the exhaustive checkers' single-store bound.
+func checkAgainst(program *lang.Program, mm MemoryModel, lim staterobust.Limits, scSet, weak map[string]struct{}, res *staterobust.Result) error {
+	p := prog.New(program)
+	type node struct {
+		ps prog.State
+		m  State
+	}
+	store := explore.NewStore()
+	var queue explore.Queue[node]
+	var buf []byte
+	key := func(ps prog.State, m State) []byte {
+		buf = buf[:0]
+		buf = p.EncodeStateRaw(buf, ps)
+		buf = m.Encode(buf)
+		return buf
+	}
+	var sy *prog.Symmetry
+	if lim.Reduce {
+		sy = prog.NewSymmetry(p)
+	}
+	var symBuf []byte
+	base := res.Explored
+	// check records the projection of a newly interned compound state and
+	// reports whether it witnesses non-robustness.
+	check := func(id int32, ps prog.State) bool {
+		var pk string
+		if sy == nil {
+			pk = p.StateKeyRaw(ps)
+		} else {
+			symBuf = p.EncodeStateRaw(symBuf[:0], ps)
+			pk = string(sy.CanonRaw(symBuf))
+		}
+		if _, ok := weak[pk]; !ok {
+			weak[pk] = struct{}{}
+			if _, ok := scSet[pk]; !ok {
+				res.Robust = false
+				if res.WitnessTrace == nil {
+					res.WitnessTrace = store.Trace(id)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	finish := func() {
+		res.Explored = base + store.Len()
+		if mm.BoundHit() {
+			res.BufBoundHit = true
+		}
+	}
+
+	ps0 := p.InitStateRaw()
+	m0 := mm.Init()
+	root, _ := store.AddBytes(key(ps0, m0), -1, explore.Step{})
+	queue.Push(root, node{ps0, m0})
+	if check(root, ps0) {
+		finish()
+		return nil
+	}
+	var succs []Succ
+	popped := 0
+	for {
+		item, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		if base+store.Len() > maxStates(lim) {
+			return staterobust.ErrBound
+		}
+		if popped&ctxPollMask == 0 && ctxDone(lim) {
+			return canceled(lim)
+		}
+		popped++
+		if lim.Progress != nil && popped%progressEvery == 0 {
+			lim.Progress(base + store.Len())
+		}
+		n := item.St
+		// Program actions (ε-granular: thread-local steps are their own
+		// transitions, exactly as in staterobust.ReachableSC).
+		for t := range p.Threads {
+			th := &p.Threads[t]
+			ts := n.ps.Threads[t]
+			tid := lang.Tid(t)
+			if th.Terminated(ts) {
+				continue
+			}
+			if th.AtEps(ts) {
+				nextTS, afail := th.StepEps(ts)
+				if afail != nil {
+					continue // a failed assert has no successors
+				}
+				nextPS := n.ps.Clone()
+				nextPS.Threads[t] = nextTS
+				id, isNew := store.AddBytes(key(nextPS, n.m), item.ID,
+					explore.Step{Tid: tid, Internal: explore.IntEps})
+				if isNew {
+					if check(id, nextPS) {
+						finish()
+						return nil
+					}
+					queue.Push(id, node{nextPS, n.m.Clone()})
+				}
+				continue
+			}
+			succs = mm.Steps(succs[:0], n.m, tid, th.Op(ts))
+			for _, sc := range succs {
+				mm.Canon(sc.M)
+				nextPS := n.ps.Clone()
+				nextPS.Threads[t] = th.ApplyRaw(ts, sc.Lab)
+				id, isNew := store.AddBytes(key(nextPS, sc.M), item.ID,
+					explore.Step{Tid: tid, Lab: sc.Lab})
+				if isNew {
+					if check(id, nextPS) {
+						finish()
+						return nil
+					}
+					queue.Push(id, node{nextPS, sc.M})
+				}
+			}
+		}
+		// Memory-internal actions (the program state is unchanged, so its
+		// projection has already been checked).
+		for t := 0; t < program.NumThreads(); t++ {
+			tid := lang.Tid(t)
+			succs = mm.Internal(succs[:0], n.m, tid)
+			for _, sc := range succs {
+				mm.Canon(sc.M)
+				id, isNew := store.AddBytes(key(n.ps, sc.M), item.ID,
+					explore.Step{Tid: tid, Internal: explore.IntFlush})
+				if isNew {
+					queue.Push(id, node{n.ps.Clone(), sc.M})
+				}
+			}
+		}
+	}
+	if ctxDone(lim) {
+		return canceled(lim)
+	}
+	finish()
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/model"
 	"repro/internal/parser"
 	"repro/internal/prog"
 	"repro/internal/verkey"
@@ -212,7 +213,7 @@ func (s *Server) batchOne(ctx context.Context, req VerifyRequest, forwardedFrom 
 		req.Mode = ModeRA
 	}
 	if !validMode(req.Mode) {
-		return BatchLine{Status: "error", Error: fmt.Sprintf("unknown mode %q", req.Mode)}
+		return BatchLine{Status: "error", Error: fmt.Sprintf("unknown mode %q (supported: %s)", req.Mode, model.ModeList())}
 	}
 	if strings.TrimSpace(req.Source) == "" {
 		return BatchLine{Status: "error", Error: "empty program source"}

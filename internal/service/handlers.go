@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/model"
 	"repro/internal/parser"
 	"repro/internal/prog"
 	"repro/internal/verkey"
@@ -156,7 +157,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		req.Mode = ModeRA
 	}
 	if !validMode(req.Mode) {
-		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		writeError(w, http.StatusBadRequest, "unknown mode %q (supported: %s)", req.Mode, model.ModeList())
 		return
 	}
 	if strings.TrimSpace(req.Source) == "" {

@@ -12,31 +12,28 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/prog"
 	"repro/internal/staterobust"
 )
 
-// Mode names the verification question a job answers. The first three run
-// the §5 SCM-instrumented decision procedure (execution-graph robustness);
-// the state-* modes run the Definition 2.6 state-robustness checkers that
-// cross-validate it.
+// Mode names the verification question a job answers. The modes are
+// defined by the internal/model registry — rockerd re-exports the
+// constants so existing callers keep compiling, but validation, error
+// messages, and dispatch all go through the registry, so a newly
+// registered model is automatically accepted (and enumerated) here.
 const (
-	ModeRA       = "ra"        // execution-graph robustness against RA (the paper's main question)
-	ModeSRA      = "sra"       // …against the POPL'16 SRA strengthening
-	ModeSC       = "sc"        // plain SC exploration: assertion checking only
-	ModeStateRA  = "state-ra"  // state robustness via the §3 timestamp machine
-	ModeStateSRA = "state-sra" // …with SRA write slots
-	ModeStateTSO = "state-tso" // state robustness via the TSO store-buffer machine
+	ModeRA       = model.ModeRA       // execution-graph robustness against RA (the paper's main question)
+	ModeSRA      = model.ModeSRA      // …against the POPL'16 SRA strengthening
+	ModeSC       = model.ModeSC       // plain SC exploration: assertion checking only
+	ModeTSO      = model.ModeTSO      // state robustness against TSO, attack-based instrumentation
+	ModeStateRA  = model.ModeStateRA  // state robustness via the §3 timestamp machine
+	ModeStateSRA = model.ModeStateSRA // …with SRA write slots
+	ModeStateTSO = model.ModeStateTSO // state robustness via the exhaustive TSO store-buffer product
 )
 
 // validMode reports whether m names a verification mode.
-func validMode(m string) bool {
-	switch m {
-	case ModeRA, ModeSRA, ModeSC, ModeStateRA, ModeStateSRA, ModeStateTSO:
-		return true
-	}
-	return false
-}
+func validMode(m string) bool { return model.Valid(m) }
 
 // Job statuses. A job moves queued → running → one of the terminal
 // statuses; canceled covers client cancellation, deadline expiry, and
@@ -334,7 +331,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 		}
 		j.states.Store(int64(v.States))
 		return res, nil
-	case ModeStateRA, ModeStateSRA, ModeStateTSO:
+	case ModeTSO, ModeStateRA, ModeStateSRA, ModeStateTSO:
 		lim := staterobust.Limits{
 			MaxStates: j.maxStates,
 			Workers:   j.workers,
@@ -345,18 +342,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 				j.expanded.Add(progressPeriod)
 			},
 		}
-		var (
-			r   *staterobust.Result
-			err error
-		)
-		switch j.mode {
-		case ModeStateRA:
-			r, err = staterobust.CheckRA(j.prg, lim)
-		case ModeStateSRA:
-			r, err = staterobust.CheckSRA(j.prg, lim)
-		default:
-			r, err = staterobust.CheckTSO(j.prg, lim)
-		}
+		r, err := model.Check(j.mode, j.prg, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -371,7 +357,7 @@ func (j *job) verify(ctx context.Context) (*Result, error) {
 			ElapsedMs:  msSince(start),
 		}, nil
 	}
-	return nil, fmt.Errorf("unknown mode %q", j.mode)
+	return nil, fmt.Errorf("unknown mode %q (supported: %s)", j.mode, model.ModeList())
 }
 
 // progressPeriod mirrors the staterobust checkers' fixed progress cadence,

@@ -69,7 +69,7 @@ func (e errUnknownModel) Error() string { return "staterobust: unknown model " +
 // (S)RA timestamp machine, invoking visit on each program state.
 func exploreWeakRA(program *lang.Program, lim Limits, sra bool, visit func(prog.State)) error {
 	p := prog.New(program)
-	headroom := raHeadroom(program, lim)
+	headroom := RAHeadroom(program, lim)
 	gapCap := headroom + 1
 	type node struct {
 		ps prog.State

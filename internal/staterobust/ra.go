@@ -10,12 +10,14 @@ import (
 	"repro/internal/prog"
 )
 
-// raHeadroom derives the default write-slot headroom: one more than the
+// RAHeadroom derives the default write-slot headroom for the RA/SRA
+// machines (exported for the internal/model adapters, which must
+// enumerate exactly checkWeakRA's candidates): one more than the
 // number of write instructions in the program (every write instruction can
 // execute at most once per... conservatively, this is exact for programs
 // whose runs perform at most that many writes per location; for loopy
 // programs the exploration is additionally guarded by the state bound).
-func raHeadroom(program *lang.Program, lim Limits) int {
+func RAHeadroom(program *lang.Program, lim Limits) int {
 	if lim.RAHeadroom > 0 {
 		return lim.RAHeadroom
 	}
@@ -102,7 +104,7 @@ func checkWeakRA(program *lang.Program, lim Limits, sra bool) (*Result, error) {
 	}
 	p := prog.New(program)
 	res := &Result{Robust: true, SCStates: len(scSet)}
-	headroom := raHeadroom(program, lim)
+	headroom := RAHeadroom(program, lim)
 	gapCap := headroom + 1
 
 	type node struct {

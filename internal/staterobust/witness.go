@@ -36,7 +36,7 @@ func ReplayWitness(program *lang.Program, trace []explore.Step, sra bool, lim Li
 		return err
 	}
 	p := prog.New(program)
-	headroom := raHeadroom(program, lim)
+	headroom := RAHeadroom(program, lim)
 	gapCap := headroom + 1
 
 	ps := p.InitStateRaw()

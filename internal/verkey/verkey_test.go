@@ -26,6 +26,7 @@ func TestKeyPinned(t *testing.T) {
 		{"ra", 8 << 20, false, true, "0102030405060708090a0b0c0d0e0f10|ra|8388608|2"},
 		{"sra", 1000, true, true, "0102030405060708090a0b0c0d0e0f10|sra|1000|3"},
 		{"state-tso", 42, false, false, "0102030405060708090a0b0c0d0e0f10|state-tso|42|0"},
+		{"tso", 42, false, false, "0102030405060708090a0b0c0d0e0f10|tso|42|0"},
 	}
 	for _, c := range cases {
 		if got := Key(d, c.mode, c.maxStates, c.prune, c.red); got != c.want {
@@ -49,5 +50,12 @@ func TestKeyDistinguishesKnobs(t *testing.T) {
 		if other == base {
 			t.Errorf("changing %s does not change the key %q", name, base)
 		}
+	}
+	// The instrumented ("tso") and exhaustive ("state-tso") TSO checkers
+	// answer the same question by different explorations with different
+	// state counts — the cache must never serve one's result for the
+	// other, in the LRU, the vstore, or across cluster peers.
+	if Key(d1, "tso", 100, false, false) == Key(d1, "state-tso", 100, false, false) {
+		t.Error("keys for modes tso and state-tso alias")
 	}
 }
