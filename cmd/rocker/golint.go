@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/frontend"
+	"repro/internal/model"
+)
+
+// runGolint implements "rocker golint": translate real sync/atomic Go
+// code into the verifier's language with internal/frontend and lint
+// every concurrency unit for robustness, with all findings anchored to
+// Go source positions.
+//
+// Operands are .go files, package directories, or dir/... patterns
+// (every subdirectory holding Go files becomes one package). The exit
+// status is 1 when any unit has an error finding (not robust, failing
+// assertion, data race) or a vet warning, 2 on I/O / parse / type
+// errors, and 0 otherwise — declined units report their reason but do
+// not fail the run, since declining is the frontend's way of refusing
+// to guess.
+func runGolint(args []string) int {
+	fs := flag.NewFlagSet("rocker golint", flag.ExitOnError)
+	modelsFlag := fs.String("models", "ra", "comma-separated verdict models (ra, sra, plus any -list-modes mode)")
+	maxStates := fs.Int("max", 2_000_000, "state bound per unit and model (0 = unbounded)")
+	workers := fs.Int("workers", 0, "parallel exploration workers (0 = all cores)")
+	noRepair := fs.Bool("norepair", false, "skip the fence-repair suggestion on non-robust units")
+	emitDir := fs.String("emit", "", "write each unit's translated .lit listing into this directory")
+	quiet := fs.Bool("q", false, "verdict lines only, no per-unit ok output")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no deadline)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rocker golint [flags] file.go... | dir | dir/...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var modes []string
+	for _, m := range strings.Split(*modelsFlag, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if m != "ra" && m != "sra" && !model.Valid(m) {
+			fmt.Fprintf(os.Stderr, "rocker golint: unknown model %q (supported: ra, sra, %s)\n", m, model.ModeList())
+			return 2
+		}
+		modes = append(modes, m)
+	}
+
+	pkgs, err := golintPackages(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocker golint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "rocker golint: no Go files found")
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := frontend.LintOptions{
+		Models:    modes,
+		MaxStates: *maxStates,
+		Workers:   *workers,
+		NoRepair:  *noRepair,
+		Ctx:       ctx,
+	}
+
+	status := 0
+	for _, files := range pkgs {
+		pkg, err := frontend.TranslateFiles(files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rocker golint:", err)
+			status = 2
+			continue
+		}
+		for _, d := range pkg.Declined {
+			fmt.Printf("%s: %s: declined: %s (%s)\n", d.Pos, d.Name, d.Reason, d.Construct)
+		}
+		for _, u := range pkg.Units {
+			rep, err := frontend.LintUnit(u, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rocker golint:", err)
+				status = 2
+				continue
+			}
+			if *emitDir != "" {
+				name := filepath.Join(*emitDir, u.Prog.Name+".lit")
+				if err := os.WriteFile(name, []byte(frontend.EmitLit(u)), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "rocker golint:", err)
+					return 2
+				}
+			}
+			bad := false
+			for _, f := range rep.Findings {
+				fmt.Printf("%s: %s\n", f.Pos, f.Message)
+				bad = true
+			}
+			verdicts := make([]string, 0, len(modes))
+			for _, m := range modes {
+				mark := "✗"
+				if rep.Verdicts[m] {
+					mark = "✓"
+				}
+				verdicts = append(verdicts, fmt.Sprintf("%s %s", m, mark))
+			}
+			sort.Strings(verdicts)
+			if bad {
+				if status == 0 {
+					status = 1
+				}
+				fmt.Printf("%s: %s: %s\n", u.Pos, u.Name, strings.Join(verdicts, ", "))
+			} else if !*quiet {
+				fmt.Printf("%s: %s: ok (%s)\n", u.Pos, u.Name, strings.Join(verdicts, ", "))
+			} else {
+				fmt.Printf("%s: %s: %s\n", u.Pos, u.Name, strings.Join(verdicts, ", "))
+			}
+		}
+	}
+	return status
+}
+
+// golintPackages expands the operands into per-package file lists:
+// explicit .go files form one package; a directory contributes its
+// (non-test) Go files; dir/... walks recursively, one package per
+// directory.
+func golintPackages(args []string) ([][]string, error) {
+	var pkgs [][]string
+	var loose []string
+	addDir := func(dir string) error {
+		files, err := goFilesIn(dir)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			pkgs = append(pkgs, files)
+		}
+		return nil
+	}
+	for _, arg := range args {
+		switch {
+		case strings.HasSuffix(arg, "/..."):
+			root := strings.TrimSuffix(arg, "/...")
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					return addDir(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(arg, ".go"):
+			loose = append(loose, arg)
+		default:
+			info, err := os.Stat(arg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s: not a .go file or directory", arg)
+			}
+			if err := addDir(arg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(loose) > 0 {
+		pkgs = append(pkgs, loose)
+	}
+	return pkgs, nil
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -10,6 +10,8 @@
 //	rocker [flags] -corpus name     # run a built-in corpus program
 //	rocker -list                    # list the built-in corpus
 //	rocker vet file.lit...          # lint programs, non-zero exit on findings
+//	rocker golint pkg-or-files      # lift sync/atomic Go code and lint it
+//	                                # for robustness at Go source positions
 //
 // The cross-model verdict matrix: -models runs the same program under
 // several memory models and prints one verdict row per model, e.g.
@@ -72,6 +74,9 @@ func main() {
 func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		return runVet(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "golint" {
+		return runGolint(os.Args[2:])
 	}
 	full := flag.Bool("full", false, "disable abstract value management (§5.1)")
 	modelFlag := flag.String("model", "ra", "memory model: ra (the paper) or sra (the POPL'16 strengthening)")

@@ -1,0 +1,68 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005), with the
+// owner's take and the thieves' steal written with plain acquire/
+// release atomics — the shape of the C11 port before its seq_cst
+// accesses. The owner pushes two tasks and takes twice; two thieves
+// try to steal. NOT robust against RA: the owner's bottom-decrement /
+// top-read pair and the thief's top-read / bottom-read pair each need
+// an SC fence (the seq_cst accesses of Lê et al., PPoPP 2013), and the
+// linter's repair suggests exactly those.
+//
+//rocker:vals 6
+package main
+
+import "sync/atomic"
+
+var top atomic.Int32  // steal end
+var bot atomic.Int32  // owner end
+var q [3]atomic.Int32 // the task array
+
+func owner() {
+	// Push two tasks.
+	q[0].Store(1)
+	bot.Store(1)
+	q[1].Store(2)
+	bot.Store(2)
+	// Take twice.
+	for it := 0; it < 2; it++ {
+		rb := bot.Load() - 1
+		bot.Store(rb)
+		rt := top.Load()
+		if rt > rb {
+			bot.Store(rb + 1) // deque empty: undo the decrement
+			continue
+		}
+		if rt == rb {
+			// Last task: race the thieves for it.
+			won := top.CompareAndSwap(rt, rt+1)
+			bot.Store(rb + 1)
+			if !won {
+				continue
+			}
+		}
+		v := q[rb].Load()
+		if v != rb+1 {
+			panic("chaselev: took a corrupted task")
+		}
+	}
+}
+
+func thief() {
+	rt := top.Load()
+	rb := bot.Load()
+	if rt >= rb {
+		return // looks empty
+	}
+	v := q[rt].Load()
+	if v != rt+1 {
+		panic("chaselev: stole a corrupted task")
+	}
+	top.CompareAndSwap(rt, rt+1)
+}
+
+func chaselev() {
+	go owner()
+	go thief()
+	go thief()
+}
+
+func main() { chaselev() }

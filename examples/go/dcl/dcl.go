@@ -1,0 +1,37 @@
+// Double-checked initialization: readers fast-path on the done flag,
+// and the slow path takes a spinlock before re-checking and
+// initializing. The acquire load of done pairs with the release store
+// after initialization, so the plain read of val is race-free and the
+// protocol is robust against RA — this is the correct DCL idiom, in
+// contrast to the broken variants that publish before initializing.
+//
+//rocker:vals 2
+package main
+
+import "sync/atomic"
+
+var done atomic.Int32 // published after val is initialized
+var lk atomic.Int32   // slow-path spinlock
+var val int32         // non-atomic: the lazily initialized value
+
+func get() {
+	if done.Load() == 0 {
+		for !lk.CompareAndSwap(0, 1) {
+		}
+		if done.Load() == 0 {
+			val = 1
+			done.Store(1)
+		}
+		lk.Store(0)
+	}
+	if val != 1 {
+		panic("dcl: saw uninitialized value")
+	}
+}
+
+func dcl() {
+	go get()
+	go get()
+}
+
+func main() { dcl() }

@@ -1,0 +1,37 @@
+// The entry gate of Dekker's mutual exclusion: each peer raises its
+// flag and enters the critical section only if the other's flag is
+// still down. Correct under sequential consistency, but NOT robust
+// against RA: both loads can miss the other's store (the classic
+// store-buffering shape), both peers enter, and the plain write to cs
+// becomes a data race. The repair is an SC fence between each peer's
+// store and load — or strengthening the stores into fence-shaped RMWs.
+//
+//rocker:vals 3
+package main
+
+import "sync/atomic"
+
+var flag0 atomic.Int32
+var flag1 atomic.Int32
+var cs int32 // non-atomic: who is inside the critical section
+
+func peer0() {
+	flag0.Store(1)
+	if flag1.Load() == 0 {
+		cs = 1
+	}
+}
+
+func peer1() {
+	flag1.Store(1)
+	if flag0.Load() == 0 {
+		cs = 2
+	}
+}
+
+func dekker() {
+	go peer0()
+	go peer1()
+}
+
+func main() { dekker() }

@@ -1,0 +1,60 @@
+// Quiescent-state-based user-level RCU (Desnoyers et al., "User-Level
+// Implementations of Read-Copy Update", 2012): the updater prepares a
+// new data version in a fresh slot, publishes it by switching the
+// pointer, flips the grace-period counter, waits until every reader
+// has announced the new phase, and only then poisons the old slot.
+// Readers dereference the pointer inside read-side sections and
+// announce quiescent states between sections — writing their counter
+// only when the phase changed. Every cross-thread obligation is a
+// message-passing handshake, so the protocol is robust against RA
+// with no fences at all.
+//
+//rocker:vals 4
+package main
+
+import "sync/atomic"
+
+var g atomic.Int32       // the published slot index
+var gp atomic.Int32      // grace-period phase counter
+var ctr [3]atomic.Int32  // per-reader phase announcements
+var slot [2]atomic.Int32 // data versions; 3 = poisoned
+
+func updater() {
+	slot[1].Store(1) // prepare the new version
+	g.Store(1)       // publish it
+	gp.Store(1)      // start a grace period
+	for ctr[0].Load() != 1 {
+	}
+	for ctr[1].Load() != 1 {
+	}
+	for ctr[2].Load() != 1 {
+	}
+	slot[0].Store(3) // reclaim (poison) the old version
+}
+
+func reader(id int32) {
+	var phase int32
+	for it := 0; it < 2; it++ {
+		// Read-side critical section.
+		r := g.Load()
+		v := slot[r].Load()
+		if v == 3 {
+			panic("rcu: read a reclaimed slot")
+		}
+		// Quiescent state: announce the phase if it changed.
+		rq := gp.Load()
+		if rq != phase {
+			ctr[id].Store(rq)
+			phase = rq
+		}
+	}
+}
+
+func rcu() {
+	go updater()
+	for i := int32(0); i < 3; i++ {
+		go reader(i)
+	}
+}
+
+func main() { rcu() }

@@ -1,0 +1,58 @@
+// Seqlock (Boehm, "Can Seqlocks Get Along with Programming Language
+// Memory Models?", MSPC 2012): two writers claim the sequence counter
+// with a CompareAndSwap (odd = writer active), update the data pair,
+// and release with the next even value; two readers retry until they
+// observe the same even sequence number around a consistent snapshot.
+// Robust against RA with no fences — seqlocks were designed with
+// relaxed memory in mind.
+//
+//rocker:vals 5
+package main
+
+import "sync/atomic"
+
+var seq atomic.Int32    // even = stable, odd = writer active
+var d1, d2 atomic.Int32 // the protected pair
+
+func write(v int32) {
+	for {
+		c := seq.Load()
+		if c%2 == 1 {
+			continue // a writer is active
+		}
+		if !seq.CompareAndSwap(c, c+1) {
+			continue // lost the claim race
+		}
+		d1.Store(v)
+		d2.Store(v)
+		seq.Store(c + 2)
+		return
+	}
+}
+
+func read() {
+	for {
+		s1 := seq.Load()
+		if s1%2 == 1 {
+			continue // writer active: retry
+		}
+		a := d1.Load()
+		b := d2.Load()
+		if seq.Load() != s1 {
+			continue // a writer intervened: retry
+		}
+		if a != b {
+			panic("seqlock: torn read")
+		}
+		return
+	}
+}
+
+func seqlock() {
+	go write(1)
+	go write(2)
+	go read()
+	go read()
+}
+
+func main() { seqlock() }

@@ -1,0 +1,44 @@
+// Bounded single-producer single-consumer ring buffer with capacity-1
+// backpressure: the producer publishes each filled slot by advancing
+// head, then waits for the consumer to advance tail before producing
+// the next item; the consumer waits on head, reads the slot, and
+// acknowledges on tail. The slots themselves are plain (non-atomic)
+// memory — the head/tail handshakes carry all the synchronization, so
+// the protocol is race-free and robust against RA.
+//
+//rocker:vals 3
+package main
+
+import "sync/atomic"
+
+var head atomic.Int32 // items published by the producer
+var tail atomic.Int32 // items consumed
+var buf [2]int32      // non-atomic ring slots
+
+func produce() {
+	for i := int32(0); i < 2; i++ {
+		buf[i] = i + 1
+		head.Store(i + 1)
+		for tail.Load() != i+1 {
+		}
+	}
+}
+
+func consume() {
+	for i := int32(0); i < 2; i++ {
+		for head.Load() != i+1 {
+		}
+		v := buf[i]
+		if v != i+1 {
+			panic("spsc: lost item")
+		}
+		tail.Store(i + 1)
+	}
+}
+
+func spsc() {
+	go produce()
+	go consume()
+}
+
+func main() { spsc() }

@@ -1,0 +1,33 @@
+// Ticket lock: each worker takes a ticket from the dispenser with a
+// fetch-and-add, spins until the serving counter reaches its ticket,
+// runs the critical section, and hands over to the next ticket. The
+// critical section writes a plain (non-atomic) variable: mutual
+// exclusion makes it race-free, and the RMW/wait synchronization makes
+// the whole protocol robust against RA.
+//
+//rocker:vals 4
+package main
+
+import "sync/atomic"
+
+var next atomic.Int32    // ticket dispenser
+var serving atomic.Int32 // now-serving counter
+var owner int32          // non-atomic: who holds the lock
+
+func worker(id int32) {
+	my := next.Add(1) - 1 // take a ticket (Add returns the new value)
+	for serving.Load() != my {
+	}
+	owner = id
+	if owner != id {
+		panic("ticketlock: lock not exclusive")
+	}
+	serving.Store(my + 1)
+}
+
+func ticketlock() {
+	go worker(1)
+	go worker(2)
+}
+
+func main() { ticketlock() }

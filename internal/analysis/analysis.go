@@ -79,6 +79,11 @@ type Result struct {
 	RMWPure   uint64 // accessed locations whose every access is FADD/XCHG/BCAS
 	Edges     []Edge // sorted by (T1, T2, Loc)
 	Dangerous []bool // per edge: conflict edge in a block with >= 2 conflict edges
+	// BlockDanger marks every edge — sync edges included — of a block
+	// with >= 2 conflict edges. A thread all of whose incident edges are
+	// unmarked can take part in no violating cycle (Dangerous is always a
+	// subset of BlockDanger).
+	BlockDanger []bool
 
 	// Tracked is the union of dangerous-edge locations: the only
 	// locations whose monitor planes can contribute to a verdict.
@@ -181,7 +186,7 @@ func Analyze(p *lang.Program) *Result {
 		return a.Loc < b.Loc
 	})
 
-	r.Dangerous = dangerousEdges(len(p.Threads), r.Edges)
+	r.Dangerous, r.BlockDanger = dangerousEdges(len(p.Threads), r.Edges)
 	for i, e := range r.Edges {
 		if r.Dangerous[i] {
 			r.Tracked |= uint64(1) << e.Loc
@@ -252,15 +257,18 @@ func sharpenedCrit(p *lang.Program, facts [][][]uint64) []uint64 {
 // dangerousEdges finds the biconnected blocks of the thread multigraph
 // (Hopcroft–Tarjan with an edge stack; parallel edges are distinct, so a
 // doubled edge already forms a block of size two) and marks the conflict
-// edges of every block containing at least two of them.
-func dangerousEdges(threads int, edges []Edge) []bool {
+// edges of every block containing at least two of them. blockDanger
+// additionally marks the sync edges of those blocks, so callers can tell
+// which threads are glued into a dangerous block at all.
+func dangerousEdges(threads int, edges []Edge) (danger, blockDanger []bool) {
 	type half struct{ to, edge int }
 	adj := make([][]half, threads)
 	for i, e := range edges {
 		adj[e.T1] = append(adj[e.T1], half{e.T2, i})
 		adj[e.T2] = append(adj[e.T2], half{e.T1, i})
 	}
-	danger := make([]bool, len(edges))
+	danger = make([]bool, len(edges))
+	blockDanger = make([]bool, len(edges))
 	disc := make([]int, threads)
 	low := make([]int, threads)
 	for i := range disc {
@@ -300,6 +308,7 @@ func dangerousEdges(threads int, edges []Edge) []bool {
 					}
 					if conflicts >= 2 {
 						for _, ei := range stack[top:] {
+							blockDanger[ei] = true
 							if !edges[ei].Sync {
 								danger[ei] = true
 							}
@@ -322,7 +331,7 @@ func dangerousEdges(threads int, edges []Edge) []bool {
 			dfs(v, -1)
 		}
 	}
-	return danger
+	return danger, blockDanger
 }
 
 // allOf64 is allOf without the value-domain cap (location masks go up to

@@ -29,7 +29,10 @@ func (f VetFinding) String() string { return fmt.Sprintf("line %d:%d: %s", f.Lin
 //   - constants at or above the declared value bound, which the semantics
 //     silently truncates modulo the bound;
 //   - locations that are read somewhere but written nowhere, so every
-//     read yields the initial zero.
+//     read yields the initial zero;
+//   - redundant fences: a fence-shaped RMW whose thread takes part in no
+//     dangerous biconnected block of the conflict multigraph (valid
+//     programs only — the check needs Analyze's contract).
 func Vet(p *lang.Program) []VetFinding {
 	var out []VetFinding
 	vc := p.ValCount
@@ -37,9 +40,11 @@ func Vet(p *lang.Program) []VetFinding {
 	// Per-thread passes.
 	readsNeverWritten := map[lang.Loc]*lang.Inst{} // first reading inst per loc
 	var writtenAnywhere uint64
+	allFacts := make([][][]uint64, len(p.Threads))
 	for ti := range p.Threads {
 		t := &p.Threads[ti]
 		facts := constprop(p, ti)
+		allFacts[ti] = facts
 
 		// Unreachable code.
 		for pc := 0; pc < len(t.Insts); pc++ {
@@ -144,6 +149,8 @@ func Vet(p *lang.Program) []VetFinding {
 			fmt.Sprintf("location %s is read but never written (every read yields the initial 0)", p.Locs[x].Name)})
 	}
 
+	out = append(out, redundantFences(p, allFacts)...)
+
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Line != out[j].Line {
 			return out[i].Line < out[j].Line
@@ -153,6 +160,99 @@ func Vet(p *lang.Program) []VetFinding {
 		}
 		return out[i].Msg < out[j].Msg
 	})
+	return out
+}
+
+// redundantFences flags fence-shaped RMWs that cannot order anything: a
+// reachable FADD or XCHG whose result register is dead, on cells that are
+// program-wide fence-only (every access is a dead-result FADD/XCHG — no
+// BCAS, whose blocking depends on the stored values), in a thread none of
+// whose conflict-graph edges lies in a dangerous biconnected block.
+//
+// Dropping such an instruction is verdict-neutral: no register anywhere
+// changes value (all results on those cells are dead), no blocking
+// behaviour changes (RMW-purity excludes waits, fence-only excludes BCAS),
+// and a robustness violation is a cycle inside one biconnected block with
+// >= 2 conflict edges — no block containing an edge of this thread
+// qualifies, and removing the fence only removes edges, which can split
+// blocks but never grow a block's conflict-edge count.
+//
+// The check needs lang.Validate (Analyze's contract), so lenient parses
+// skip it.
+func redundantFences(p *lang.Program, allFacts [][][]uint64) []VetFinding {
+	if p.Validate() != nil {
+		return nil
+	}
+	res := Analyze(p)
+
+	// Threads glued into some dangerous block.
+	inDanger := make([]bool, len(p.Threads))
+	for i, e := range res.Edges {
+		if res.BlockDanger[i] {
+			inDanger[e.T1] = true
+			inDanger[e.T2] = true
+		}
+	}
+
+	// Registers read anywhere in each thread (over all code — liveness
+	// does not need reachability precision).
+	live := make([]uint64, len(p.Threads))
+	for ti := range p.Threads {
+		for pc := range p.Threads[ti].Insts {
+			live[ti] |= instReads(&p.Threads[ti].Insts[pc])
+		}
+	}
+
+	// Cells where every program-wide access is a dead-result FADD/XCHG.
+	fenceOnly := res.RMWPure
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		for pc := range t.Insts {
+			in := &t.Insts[pc]
+			if !in.IsMem() {
+				continue
+			}
+			cs := cells(in.Mem, allFacts[ti][pc], p.ValCount)
+			switch in.Kind {
+			case lang.IBCAS:
+				fenceOnly &^= cs
+			case lang.IFADD, lang.IXCHG:
+				if live[ti]&(uint64(1)<<in.Reg) != 0 {
+					fenceOnly &^= cs
+				}
+			}
+		}
+	}
+	if fenceOnly == 0 {
+		return nil
+	}
+
+	var out []VetFinding
+	for ti := range p.Threads {
+		if inDanger[ti] {
+			continue
+		}
+		t := &p.Threads[ti]
+		for pc := range t.Insts {
+			if allFacts[ti][pc] == nil {
+				continue // unreachable, already reported
+			}
+			in := &t.Insts[pc]
+			if in.Kind != lang.IFADD && in.Kind != lang.IXCHG {
+				continue
+			}
+			if live[ti]&(uint64(1)<<in.Reg) != 0 {
+				continue
+			}
+			cs := cells(in.Mem, allFacts[ti][pc], p.ValCount)
+			if cs == 0 || cs&^fenceOnly != 0 {
+				continue
+			}
+			out = append(out, VetFinding{in.Line, in.Col,
+				fmt.Sprintf("redundant fence on %s: thread %s takes part in no dangerous block of the conflict graph, so dropping it cannot change the verdict",
+					p.Locs[in.Mem.Base].Name, t.Name)})
+		}
+	}
 	return out
 }
 

@@ -147,14 +147,133 @@ end
 // entry must vet without findings. (The committed fuzzer regressions
 // under testdata/regressions are exempt — they are minimized repros whose
 // read-before-write shape is part of the bug they pin.)
+//
+// disjoint-fence is the one deliberate exception: its threads share only
+// the fence location, so both fences are exactly what the redundant-fence
+// check exists to flag — the entry doubles as that check's corpus pin.
 func TestVetCorpusClean(t *testing.T) {
 	for _, e := range litmus.All() {
 		p, err := parser.ParseLenient(e.Source)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		if fs := Vet(p); len(fs) != 0 {
+		fs := Vet(p)
+		if e.Name == "disjoint-fence" {
+			if len(fs) != 2 ||
+				!strings.Contains(fs[0].Msg, "redundant fence") ||
+				!strings.Contains(fs[1].Msg, "redundant fence") {
+				t.Errorf("disjoint-fence: want exactly its two redundant fences flagged, got %v", fs)
+			}
+			continue
+		}
+		if len(fs) != 0 {
 			t.Errorf("%s: vet findings: %v", e.Name, fs)
 		}
+	}
+}
+
+// A fence in a thread outside every dangerous block is flagged, with the
+// fence's own position.
+func TestVetRedundantFence(t *testing.T) {
+	fs := vetSource(t, `
+vals 2
+locs x y
+thread t1
+  x := 1
+  fence
+  a := x
+end
+thread t2
+  y := 1
+  fence
+  b := y
+end
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want both fences flagged, got %v", fs)
+	}
+	if fs[0].Line != 6 || fs[1].Line != 11 {
+		t.Errorf("findings should anchor to the fence lines 6 and 11: %v", fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "redundant fence") {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+}
+
+// Store-buffering with fences: both threads sit in a dangerous block (two
+// conflict edges, x and y), so the fences are load-bearing and clean.
+func TestVetRedundantFenceDangerousBlockClean(t *testing.T) {
+	fs := vetSource(t, `
+vals 2
+locs x y
+thread t1
+  x := 1
+  fence
+  a := y
+end
+thread t2
+  y := 1
+  fence
+  b := x
+end
+`)
+	if len(fs) != 0 {
+		t.Errorf("SB fences are not redundant: %v", fs)
+	}
+}
+
+// An RMW whose result register is read is not a fence shape; neither are
+// cells touched by a BCAS (its blocking depends on the stored values).
+func TestVetRedundantFenceLiveResultClean(t *testing.T) {
+	fs := vetSource(t, `
+vals 4
+locs x f
+thread t1
+  x := 1
+  a := FADD(f, 1)
+  x := a
+end
+thread t2
+  b := FADD(f, 0)
+end
+`)
+	if f := findingWith(fs, "redundant fence"); f != nil {
+		t.Errorf("f's results are live in t1, no access to f is a droppable fence: %v", f)
+	}
+
+	fs = vetSource(t, `
+vals 4
+locs f
+thread t1
+  a := FADD(f, 0)
+end
+thread t2
+  BCAS(f, 0, 1)
+  BCAS(f, 1, 0)
+end
+`)
+	if f := findingWith(fs, "redundant fence"); f != nil {
+		t.Errorf("BCAS on f disqualifies the cell: %v", f)
+	}
+}
+
+// Programs lang.Validate rejects (here: an RMW on a non-atomic location,
+// which only program-level validation catches) skip the redundant-fence
+// check instead of crashing Analyze.
+func TestVetRedundantFenceSkipsInvalid(t *testing.T) {
+	fs := vetSource(t, `
+vals 4
+na locs f
+locs x
+thread t1
+  x := 1
+  a := FADD(f, 0)
+  b := x
+end
+`)
+	if f := findingWith(fs, "redundant fence"); f != nil {
+		t.Errorf("invalid program must skip the fence check: %v", f)
 	}
 }

@@ -190,7 +190,8 @@ func Insert(p *lang.Program, placements []Placement) *lang.Program {
 // candidates returns the repair moves the strategy admits: fences before
 // every memory instruction with an earlier memory instruction in the same
 // thread (anywhere else a fence is equivalent to one of these points or
-// useless), and strengthenings of every plain write.
+// useless), and strengthenings of every plain write to an atomic
+// location (an RMW on a non-atomic cell is not a valid program).
 func candidates(p *lang.Program, strategy Strategy) []Placement {
 	var out []Placement
 	for ti := range p.Threads {
@@ -203,7 +204,7 @@ func candidates(p *lang.Program, strategy Strategy) []Placement {
 			if strategy != RMWs && seenMem {
 				out = append(out, Placement{Kind: InsertFence, Tid: lang.Tid(ti), At: pc})
 			}
-			if strategy != Fences && in.Kind == lang.IWrite {
+			if strategy != Fences && in.Kind == lang.IWrite && !p.Locs[in.Mem.Base].NA {
 				out = append(out, Placement{Kind: StrengthenWrite, Tid: lang.Tid(ti), At: pc})
 			}
 			seenMem = true

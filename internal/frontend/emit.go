@@ -1,0 +1,145 @@
+package frontend
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// EmitLit renders a translated unit as .lit concrete syntax that keeps
+// the Go names of cells, threads and locals, with a trailing comment
+// anchoring each instruction to its Go source line. Unlike
+// parser.Format's canonical listing this one is meant for humans (and
+// for golden files): reparsing it yields a program with the same
+// CanonicalDigest as u.Prog — the digest-determinism tests pin that.
+//
+// Registers are renamed on the way out when their Go-derived name
+// collides with a location name: the .lit grammar resolves `x := e` to
+// a write when x names a location, so a register sharing a cell's name
+// would reparse as a different program.
+func EmitLit(u *Unit) string {
+	p := u.Prog
+	var b strings.Builder
+	fmt.Fprintf(&b, "# translated from %s (%s)\n", filepath.Base(u.File), u.Name)
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	fmt.Fprintf(&b, "vals %d\n", p.ValCount)
+
+	// Location declarations: contiguous cells named name[0..n-1] are an
+	// array; everything else is a scalar.
+	taken := map[string]bool{}
+	arrayBase := map[lang.Loc]string{} // first cell -> array name
+	for i := 0; i < len(p.Locs); {
+		name := p.Locs[i].Name
+		if j := strings.IndexByte(name, '['); j >= 0 {
+			base := name[:j]
+			size := 1
+			for i+size < len(p.Locs) && strings.HasPrefix(p.Locs[i+size].Name, base+"[") {
+				size++
+			}
+			if p.Locs[i].NA {
+				fmt.Fprintf(&b, "na array %s %d\n", base, size)
+			} else {
+				fmt.Fprintf(&b, "array %s %d\n", base, size)
+			}
+			arrayBase[lang.Loc(i)] = base
+			taken[base] = true
+			i += size
+			continue
+		}
+		if p.Locs[i].NA {
+			fmt.Fprintf(&b, "na %s\n", name)
+		} else {
+			fmt.Fprintf(&b, "locs %s\n", name)
+		}
+		taken[name] = true
+		i++
+	}
+
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		// Register display names, de-conflicted from location names.
+		used := map[string]bool{}
+		for k, v := range taken {
+			used[k] = v
+		}
+		regName := make([]string, t.NumRegs)
+		for r := 0; r < t.NumRegs; r++ {
+			hint := fmt.Sprintf("r%d", r)
+			if r < len(t.RegNames) {
+				hint = t.RegNames[r]
+			}
+			regName[r] = uniqueName(hint, used)
+		}
+		reg := func(r lang.Reg) string { return regName[r] }
+		var expr func(e *lang.Expr) string
+		expr = func(e *lang.Expr) string {
+			switch e.Kind {
+			case lang.EConst:
+				return fmt.Sprintf("%d", e.Const)
+			case lang.EReg:
+				return reg(e.Reg)
+			case lang.ENot:
+				return "!(" + expr(e.L) + ")"
+			}
+			return "(" + expr(e.L) + " " + e.Op.String() + " " + expr(e.R) + ")"
+		}
+		mem := func(m lang.MemRef) string {
+			if base, ok := arrayBase[m.Base]; ok && m.Size > 1 {
+				return base + "[" + expr(m.Index) + "]"
+			}
+			return p.Locs[m.Base].Name
+		}
+
+		fmt.Fprintf(&b, "\nthread %s\n", t.Name)
+		targets := map[int]bool{}
+		for ii := range t.Insts {
+			if t.Insts[ii].Kind == lang.IGoto {
+				targets[t.Insts[ii].Target] = true
+			}
+		}
+		for ii := range t.Insts {
+			if targets[ii] {
+				fmt.Fprintf(&b, "L%d:\n", ii)
+			}
+			in := &t.Insts[ii]
+			var s string
+			switch in.Kind {
+			case lang.IAssign:
+				s = fmt.Sprintf("%s := %s", reg(in.Reg), expr(in.E))
+			case lang.IGoto:
+				if in.E.Kind == lang.EConst && in.E.Const == 1 {
+					s = fmt.Sprintf("goto L%d", in.Target)
+				} else {
+					s = fmt.Sprintf("if %s goto L%d", expr(in.E), in.Target)
+				}
+			case lang.IWrite:
+				s = fmt.Sprintf("%s := %s", mem(in.Mem), expr(in.E))
+			case lang.IRead:
+				s = fmt.Sprintf("%s := %s", reg(in.Reg), mem(in.Mem))
+			case lang.IFADD:
+				s = fmt.Sprintf("%s := FADD(%s, %s)", reg(in.Reg), mem(in.Mem), expr(in.E))
+			case lang.IXCHG:
+				s = fmt.Sprintf("%s := XCHG(%s, %s)", reg(in.Reg), mem(in.Mem), expr(in.E))
+			case lang.ICAS:
+				s = fmt.Sprintf("%s := CAS(%s, %s, %s)", reg(in.Reg), mem(in.Mem), expr(in.ER), expr(in.EW))
+			case lang.IWait:
+				s = fmt.Sprintf("wait(%s = %s)", mem(in.Mem), expr(in.E))
+			case lang.IBCAS:
+				s = fmt.Sprintf("BCAS(%s, %s, %s)", mem(in.Mem), expr(in.ER), expr(in.EW))
+			case lang.IAssert:
+				s = fmt.Sprintf("assert %s", expr(in.E))
+			}
+			if src := u.PosAt(lang.Tid(ti), ii); src.Line > 0 {
+				s = fmt.Sprintf("%-38s # %s:%d", s, filepath.Base(src.Filename), src.Line)
+			}
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+		if targets[len(t.Insts)] {
+			fmt.Fprintf(&b, "L%d:\n", len(t.Insts))
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lang"
+)
+
+// lowerExpr translates a Go expression to a .lit expression. Memory
+// accesses inside the expression — atomic method calls, plain reads of
+// shared variables, inlined calls — are lifted, in evaluation order,
+// into instructions that load into fresh registers; the returned
+// expression is pure (registers and constants only).
+func (t *threadLowering) lowerExpr(e ast.Expr) *lang.Expr {
+	// Compile-time constants fold first: named consts, untyped
+	// literals, constant arithmetic, true/false.
+	if v, ok := t.constVal(e); ok {
+		return lang.Const(v)
+	}
+	switch ex := e.(type) {
+	case *ast.ParenExpr:
+		return t.lowerExpr(ex.X)
+
+	case *ast.Ident:
+		obj := t.u.tr.info.Uses[ex]
+		if r, ok := t.regs[obj]; ok {
+			return lang.RegE(r)
+		}
+		if c, isCell := t.u.cellFor(ex); isCell {
+			if !c.na {
+				t.u.declinef(ex, "atomic value access",
+					"atomic variable %s used without a method call (copying an atomic is meaningless)", ex.Name)
+			}
+			r := t.tempReg(ex.Name)
+			t.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: lang.MemRef{Base: c.base, Size: 1}}, ex)
+			return lang.RegE(r)
+		}
+		t.u.declinef(ex, "unmodeled identifier",
+			"%s is neither a local variable nor a modeled shared variable", ex.Name)
+
+	case *ast.IndexExpr:
+		mem, c := t.cellIndex(ex)
+		if !c.na {
+			t.u.declinef(ex, "atomic value access",
+				"atomic array %s indexed without a method call", c.obj.Name())
+		}
+		r := t.tempReg(c.obj.Name())
+		t.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, ex)
+		return lang.RegE(r)
+
+	case *ast.CallExpr:
+		return t.lowerCallExpr(ex)
+
+	case *ast.UnaryExpr:
+		switch ex.Op {
+		case token.NOT:
+			return lang.Not(t.lowerExpr(ex.X))
+		case token.SUB:
+			// Negation in the wrap-around domain: 0 - x.
+			return lang.Bin(lang.OpSub, lang.Const(0), t.lowerExpr(ex.X))
+		case token.AND:
+			t.u.declinef(ex, "address-of",
+				"&%s escapes the modeled memory", exprString(ex.X))
+		}
+		t.u.declinef(ex, "unary operator", "operator %s is not modeled", ex.Op)
+
+	case *ast.BinaryExpr:
+		op, ok := binOps[ex.Op]
+		if !ok {
+			t.u.declinef(ex, "binary operator", "operator %s is not modeled", ex.Op)
+		}
+		l := t.lowerExpr(ex.X)
+		if ex.Op == token.LAND || ex.Op == token.LOR {
+			// Go short-circuits; lifting a memory access out of the
+			// right operand would make it unconditional.
+			if t.hasMemEffects(ex.Y) {
+				t.u.declinef(ex, "short-circuit memory access",
+					"right operand of %s reads shared memory, which Go evaluates conditionally", ex.Op)
+			}
+		}
+		return lang.Bin(op, l, t.lowerExpr(ex.Y))
+	}
+	t.u.declinef(e, "unsupported expression", "%T is outside the modeled subset", e)
+	panic("unreachable")
+}
+
+var binOps = map[token.Token]lang.BinOp{
+	token.ADD:  lang.OpAdd,
+	token.SUB:  lang.OpSub,
+	token.MUL:  lang.OpMul,
+	token.REM:  lang.OpMod,
+	token.EQL:  lang.OpEq,
+	token.NEQ:  lang.OpNe,
+	token.LSS:  lang.OpLt,
+	token.LEQ:  lang.OpLe,
+	token.GTR:  lang.OpGt,
+	token.GEQ:  lang.OpGe,
+	token.LAND: lang.OpAnd,
+	token.LOR:  lang.OpOr,
+}
+
+// lowerCallExpr handles calls in expression position: atomic methods,
+// integer conversions, and inlinable same-package functions.
+func (t *threadLowering) lowerCallExpr(call *ast.CallExpr) *lang.Expr {
+	// Conversions like int32(e) change the Go type, not the modeled
+	// value.
+	if tv, ok := t.u.tr.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return t.lowerExpr(call.Args[0])
+	}
+	if mem, c, method, ok := t.atomicCall(call); ok {
+		switch method {
+		case "Load":
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, call)
+			return lang.RegE(r)
+		case "Add":
+			// Go's Add returns the NEW value; FADD returns the OLD one.
+			d := t.lowerExpr(call.Args[0])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IFADD, Reg: r, Mem: mem, E: d}, call)
+			return lang.Bin(lang.OpAdd, lang.RegE(r), d)
+		case "Swap":
+			v := t.lowerExpr(call.Args[0])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IXCHG, Reg: r, Mem: mem, E: v}, call)
+			return lang.RegE(r)
+		case "CompareAndSwap":
+			// Go's CAS returns a bool; .lit CAS returns the old value.
+			old := t.lowerExpr(call.Args[0])
+			niu := t.lowerExpr(call.Args[1])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.ICAS, Reg: r, Mem: mem, ER: old, EW: niu}, call)
+			return lang.Bin(lang.OpEq, lang.RegE(r), old)
+		case "Store":
+			t.u.declinef(call, "Store in expression", "Store has no value")
+		}
+	}
+	if fd := t.u.inlinableCallee(call); fd != nil {
+		r, hasResult := t.inlineCall(call, fd)
+		if !hasResult {
+			t.u.declinef(call, "void call in expression",
+				"%s returns nothing", fd.Name.Name)
+		}
+		return lang.RegE(r)
+	}
+	t.u.declinef(call, "unmodeled call", "call to %s is outside the modeled subset", exprString(call.Fun))
+	panic("unreachable")
+}
+
+// atomicCall recognizes a method call on a modeled atomic cell and
+// returns the resolved memory operand.
+func (t *threadLowering) atomicCall(call *ast.CallExpr) (mem lang.MemRef, c *cellRef, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	if t.u.tr.info.Selections[sel] == nil {
+		return // qualified identifier (pkg.Func), not a method call
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Load", "Store", "Add", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	switch recv := sel.X.(type) {
+	case *ast.Ident:
+		cell, isCell := t.u.cellFor(recv)
+		if !isCell || cell.na || cell.size != 1 {
+			return
+		}
+		return lang.MemRef{Base: cell.base, Size: 1}, cell, method, true
+	case *ast.IndexExpr:
+		m, cell := t.cellIndex(recv)
+		if cell.na {
+			return
+		}
+		return m, cell, method, true
+	}
+	return
+}
+
+// cellIndex resolves arr[i] over a modeled array cell. The index is
+// lowered first (its own memory reads lift ahead of the access).
+func (t *threadLowering) cellIndex(ex *ast.IndexExpr) (lang.MemRef, *cellRef) {
+	id, isIdent := ex.X.(*ast.Ident)
+	if !isIdent {
+		t.u.declinef(ex, "indexed expression", "only modeled package arrays can be indexed")
+	}
+	c, isCell := t.u.cellFor(id)
+	if !isCell {
+		t.u.declinef(ex, "indexed expression",
+			"%s is not a modeled shared array", id.Name)
+	}
+	if c.size == 1 {
+		t.u.declinef(ex, "indexed scalar", "%s is not an array", id.Name)
+	}
+	idx := t.lowerExpr(ex.Index)
+	return lang.MemRef{Base: c.base, Size: c.size, Index: idx}, c
+}
+
+// constVal folds e when the type checker proved it constant, checking
+// the value against the unit's domain [0, vals).
+func (t *threadLowering) constVal(e ast.Expr) (lang.Val, bool) {
+	n, ok := t.u.intConst(e)
+	if !ok {
+		if tv, has := t.u.tr.info.Types[e]; has && tv.Value != nil {
+			t.u.declinef(e, "non-integer constant",
+				"constant %s is not a modelable integer or bool", tv.Value)
+		}
+		return 0, false
+	}
+	return t.u.domainVal(n, e), true
+}
+
+// hasMemEffects conservatively reports whether evaluating e touches
+// shared memory or calls anything: used to reject lifting out of
+// short-circuit positions and to gate the blocking spin patterns.
+func (t *threadLowering) hasMemEffects(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Type conversions are pure.
+			if tv, ok := t.u.tr.info.Types[x.Fun]; ok && tv.IsType() {
+				return true
+			}
+			found = true
+		case *ast.Ident:
+			if obj := t.u.tr.info.Uses[x]; obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && v.Parent() == t.u.tr.pkg.Scope() {
+					found = true // package variable: a shared read
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short description of an expression for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,284 @@
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/fence"
+	"repro/internal/lang"
+	"repro/internal/model"
+	"repro/internal/scm"
+)
+
+// Finding is one golint diagnostic anchored to a Go source position.
+type Finding struct {
+	Pos      token.Position
+	Unit     string
+	Severity string // "error" (robustness/assertion), "warning" (vet lint)
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// LintOptions configures the verification pipeline golint runs over
+// each translated unit.
+type LintOptions struct {
+	// Models are the memory models to render verdicts under; default
+	// {"ra"}. "ra" and "sra" run the robustness checker (and can produce
+	// witness findings); other registry modes (e.g. "tso") contribute a
+	// verdict only.
+	Models    []string
+	MaxStates int
+	Workers   int
+	// NoRepair suppresses the fence-repair suggestion on non-robust
+	// units.
+	NoRepair bool
+	// MaxRepairs bounds the repair search (default 4).
+	MaxRepairs int
+	Ctx        context.Context
+}
+
+// UnitReport is the lint result for one translated unit.
+type UnitReport struct {
+	Unit *Unit
+	// Verdicts maps each requested model to its robustness verdict.
+	Verdicts map[string]bool
+	Findings []Finding
+}
+
+// LintUnit runs the full static pipeline over one translated unit:
+// analysis.Vet lints, a robustness verdict per requested model, and —
+// for non-robust units — a fence-repair suggestion. Every finding is
+// anchored to the Go source line the offending instruction was lowered
+// from.
+func LintUnit(u *Unit, opts LintOptions) (*UnitReport, error) {
+	if len(opts.Models) == 0 {
+		opts.Models = []string{"ra"}
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
+	rep := &UnitReport{Unit: u, Verdicts: map[string]bool{}}
+	rep.Findings = append(rep.Findings, StaticFindings(u)...)
+
+	needRepair := false
+	for _, mode := range opts.Models {
+		switch mode {
+		case "ra", "sra":
+			m := core.ModelRA
+			if mode == "sra" {
+				m = core.ModelSRA
+			}
+			v, err := core.Verify(u.Prog, core.Options{
+				Model:        m,
+				AbstractVals: true,
+				MaxStates:    opts.MaxStates,
+				Workers:      opts.Workers,
+				StaticPrune:  true,
+				Ctx:          opts.Ctx,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: verify %s: %w", u.Name, mode, err)
+			}
+			rep.Verdicts[mode] = v.Robust
+			if v.AssertFail != nil {
+				rep.Findings = append(rep.Findings, Finding{
+					Pos:      u.PosAt(v.AssertFail.Tid, v.AssertFail.PC),
+					Unit:     u.Name,
+					Severity: "error",
+					Message: fmt.Sprintf("assertion can fail under sequential consistency (thread %s)",
+						u.Prog.Threads[v.AssertFail.Tid].Name),
+				})
+			}
+			if !v.Robust {
+				needRepair = true
+				for _, viol := range dedupViolations(v.Violations) {
+					rep.Findings = append(rep.Findings, Finding{
+						Pos:      u.PosAt(viol.Tid, viol.PC),
+						Unit:     u.Name,
+						Severity: "error",
+						Message:  fmt.Sprintf("not robust against %s (witness: %s)", modelName(mode), u.witness(viol)),
+					})
+				}
+			}
+		default:
+			res, err := model.Run(mode, u.Prog, model.RunOpts{
+				MaxStates:   opts.MaxStates,
+				Workers:     opts.Workers,
+				StaticPrune: true,
+				Ctx:         opts.Ctx,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: verify %s: %w", u.Name, mode, err)
+			}
+			rep.Verdicts[mode] = res.Robust
+			if !res.Robust {
+				rep.Findings = append(rep.Findings, Finding{
+					Pos:      u.Pos,
+					Unit:     u.Name,
+					Severity: "error",
+					Message:  fmt.Sprintf("not robust against %s", modelName(mode)),
+				})
+			}
+		}
+	}
+
+	if needRepair && !opts.NoRepair {
+		rep.Findings = append(rep.Findings, u.repairFindings(opts)...)
+	}
+
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i].Pos, rep.Findings[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return rep, nil
+}
+
+// StaticFindings returns just the analysis.Vet lints of a unit, mapped
+// back to Go positions — the cheap, exploration-free part of LintUnit.
+func StaticFindings(u *Unit) []Finding {
+	var out []Finding
+	for _, f := range analysis.Vet(u.Prog) {
+		out = append(out, Finding{
+			Pos:      u.FindPos(f.Line, f.Col),
+			Unit:     u.Name,
+			Severity: "warning",
+			Message:  f.Msg,
+		})
+	}
+	return out
+}
+
+func modelName(mode string) string {
+	switch mode {
+	case "ra":
+		return "RA"
+	case "sra":
+		return "SRA"
+	case "tso":
+		return "TSO"
+	}
+	return mode
+}
+
+// dedupViolations keeps one violation per (thread, pc): the checker can
+// report the same instruction from many monitor states.
+func dedupViolations(vs []*scm.Violation) []*scm.Violation {
+	seen := map[[2]int]bool{}
+	var out []*scm.Violation
+	for _, v := range vs {
+		k := [2]int{int(v.Tid), v.PC}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// witness renders a violation in Go vocabulary: Go variable names and
+// source positions, not .lit locations and pcs.
+func (u *Unit) witness(v *scm.Violation) string {
+	cell := u.cellName(v.Loc)
+	tn := u.Prog.Threads[v.Tid].Name
+	at := shortPos(u.PosAt(v.Tid, v.PC))
+	switch v.Kind {
+	case scm.StaleRead:
+		return fmt.Sprintf("the read of %s by %s at %s can observe a stale value", cell, tn, at)
+	case scm.StaleWrite:
+		return fmt.Sprintf("the write to %s by %s at %s can be placed before an older write", cell, tn, at)
+	case scm.StaleRMW:
+		return fmt.Sprintf("the RMW on %s by %s at %s can read a stale value", cell, tn, at)
+	case scm.NARace:
+		tn2 := u.Prog.Threads[v.Tid2].Name
+		return fmt.Sprintf("non-atomic %s is racy: %s at %s vs %s at %s",
+			cell, tn, at, tn2, shortPos(u.PosAt(v.Tid2, v.PC2)))
+	}
+	return fmt.Sprintf("%s on %s by %s at %s", v.Kind, cell, tn, at)
+}
+
+// cellName maps a location back to the Go variable that owns it.
+func (u *Unit) cellName(l lang.Loc) string {
+	if int(l) < len(u.Cells) {
+		return u.Cells[l]
+	}
+	return u.Prog.LocName(l)
+}
+
+func shortPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// repairFindings searches for a fence repair and renders each placement
+// as a suggested fix at its Go line.
+func (u *Unit) repairFindings(opts LintOptions) []Finding {
+	placements, _, err := fence.Enforce(u.Prog, fence.Options{
+		MaxRepairs: opts.MaxRepairs,
+		Strategy:   fence.Mixed,
+		Verify: core.Options{
+			AbstractVals: true,
+			MaxStates:    opts.MaxStates,
+			Workers:      opts.Workers,
+			StaticPrune:  true,
+			Ctx:          opts.Ctx,
+		},
+	})
+	if err != nil {
+		return []Finding{{
+			Pos:      u.Pos,
+			Unit:     u.Name,
+			Severity: "warning",
+			Message:  fmt.Sprintf("no fence repair found: %v", err),
+		}}
+	}
+	// Distinct placements can map to one Go line (unrolled loop copies,
+	// one thread per spawn of the same function); report each line once.
+	seen := map[string]bool{}
+	out := make([]Finding, 0, len(placements))
+	for _, pl := range placements {
+		pos := u.PosAt(pl.Tid, pl.At)
+		in := &u.Prog.Threads[pl.Tid].Insts[pl.At]
+		var msg string
+		if pl.Kind == fence.StrengthenWrite {
+			msg = fmt.Sprintf("suggested fix: strengthen the Store at %s into a fence (make the write an SC-fenced Swap)", shortPos(pos))
+		} else {
+			msg = fmt.Sprintf("suggested fix: insert an SC fence before the %s at %s", opName(in), shortPos(pos))
+		}
+		key := pos.String() + msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Finding{Pos: pos, Unit: u.Name, Severity: "error", Message: msg})
+	}
+	return out
+}
+
+func opName(in *lang.Inst) string {
+	switch in.Kind {
+	case lang.IRead:
+		return "Load"
+	case lang.IWrite:
+		return "Store"
+	case lang.IFADD:
+		return "Add"
+	case lang.IXCHG:
+		return "Swap"
+	case lang.ICAS:
+		return "CompareAndSwap"
+	case lang.IWait, lang.IBCAS:
+		return "spin loop"
+	}
+	return "instruction"
+}

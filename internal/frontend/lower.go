@@ -1,0 +1,958 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lang"
+)
+
+// maxUnroll bounds loop unrolling and spawn-loop expansion: beyond it
+// the translation would explode rather than model.
+const maxUnroll = 32
+
+// maxInlineDepth bounds the call-inlining stack.
+const maxInlineDepth = 8
+
+// threadLowering lowers one thread's body into a .lit instruction
+// sequence.
+type threadLowering struct {
+	u        *unitState
+	name     string
+	insts    []lang.Inst
+	pos      []token.Position
+	regs     map[types.Object]lang.Reg
+	regNames []string
+	regUsed  map[string]bool
+	loops    []*loopFrame
+	rets     []*retFrame
+	inlining []types.Object
+}
+
+// loopFrame collects forward jumps out of a loop, patched when the
+// loop's extent is known.
+type loopFrame struct {
+	breaks    []int
+	continues []int
+}
+
+// retFrame is one return target: the thread end, or an inlined call's
+// join point.
+type retFrame struct {
+	resultReg lang.Reg
+	hasResult bool
+	joins     []int
+}
+
+func (u *unitState) newThread(name string) *threadLowering {
+	return &threadLowering{
+		u:       u,
+		name:    name,
+		regs:    map[types.Object]lang.Reg{},
+		regUsed: map[string]bool{},
+		rets:    []*retFrame{{}},
+	}
+}
+
+func (u *unitState) finishThread(t *threadLowering) {
+	t.patchAll(t.rets[0].joins, len(t.insts))
+	u.threads = append(u.threads, threadResult{
+		name:     t.name,
+		insts:    t.insts,
+		pos:      t.pos,
+		numRegs:  len(t.regNames),
+		regNames: t.regNames,
+	})
+}
+
+// emit appends an instruction stamped with the Go position of at, and
+// returns its index (for jump patching).
+func (t *threadLowering) emit(in lang.Inst, at ast.Node) int {
+	p := t.u.tr.fset.Position(at.Pos())
+	in.Line, in.Col = p.Line, p.Column
+	t.insts = append(t.insts, in)
+	t.pos = append(t.pos, p)
+	return len(t.insts) - 1
+}
+
+func (t *threadLowering) patch(i, target int) { t.insts[i].Target = target }
+
+func (t *threadLowering) patchAll(is []int, target int) {
+	for _, i := range is {
+		t.patch(i, target)
+	}
+}
+
+// tempReg allocates a fresh register named after hint (uniquified per
+// thread).
+func (t *threadLowering) tempReg(hint string) lang.Reg {
+	if len(t.regNames) >= 64 {
+		t.u.declinef(t.u.driver, "too many registers", "thread %s needs more than 64 registers", t.name)
+	}
+	t.regNames = append(t.regNames, uniqueName(sanitizeName(hint), t.regUsed))
+	return lang.Reg(len(t.regNames) - 1)
+}
+
+// defineReg binds a Go local variable to a register, reusing the
+// binding on redefinition (inlined calls re-enter the same objects).
+func (t *threadLowering) defineReg(obj types.Object, name string) lang.Reg {
+	if r, ok := t.regs[obj]; ok {
+		return r
+	}
+	r := t.tempReg(name)
+	t.regs[obj] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Driver scan: partition the driver body into spawns and a trailing
+// "main" thread.
+
+func (u *unitState) lowerDriver() {
+	fd := u.driver
+	if fd.Type.Params.NumFields() > 0 || fd.Type.Results.NumFields() > 0 {
+		u.declinef(fd, "driver signature", "a concurrency unit's driver must take and return nothing")
+	}
+	body := fd.Body.List
+	last := -1
+	for i, st := range body {
+		if u.isSpawn(st) {
+			last = i
+		}
+	}
+	if last == -1 {
+		// containsGo found a goroutine, but none is a top-level spawn.
+		at := firstGoStmt(fd.Body)
+		u.declinef(at, "nested goroutine",
+			"go statements must be top-level statements of the driver (or of a counted spawn loop)")
+	}
+	for i := 0; i <= last; i++ {
+		st := body[i]
+		if !u.isSpawn(st) {
+			u.declinef(st, "statement before goroutine spawn",
+				"modeled memory starts zeroed, so no statement may run before all threads are spawned")
+		}
+		u.lowerSpawn(st)
+	}
+	if tail := body[last+1:]; len(tail) > 0 {
+		t := u.newThread(fd.Name.Name)
+		t.lowerBlock(tail)
+		u.finishThread(t)
+	}
+}
+
+func firstGoStmt(body *ast.BlockStmt) ast.Node {
+	var at ast.Node = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok && at == ast.Node(body) {
+			at = g
+		}
+		return at == ast.Node(body)
+	})
+	return at
+}
+
+// isSpawn reports whether st is a `go` statement or a counted loop
+// containing only `go` statements (a spawn loop).
+func (u *unitState) isSpawn(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.GoStmt:
+		return true
+	case *ast.ForStmt:
+		if _, ok := u.countedHeader(s); !ok {
+			return false
+		}
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		for _, inner := range s.Body.List {
+			if _, ok := inner.(*ast.GoStmt); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (u *unitState) lowerSpawn(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.GoStmt:
+		u.spawnGo(s.Call, nil)
+	case *ast.ForStmt:
+		h, _ := u.countedHeader(s)
+		if h.count > maxUnroll {
+			u.declinef(s, "oversize spawn loop", "spawn loop expands to %d goroutines (limit %d)", h.count, maxUnroll)
+		}
+		for k := h.from; k < h.from+h.count; k++ {
+			for _, inner := range s.Body.List {
+				u.spawnGo(inner.(*ast.GoStmt).Call, map[types.Object]int64{h.obj: k})
+			}
+		}
+	}
+}
+
+// spawnGo lowers one spawned goroutine into a thread. bind carries the
+// spawn-loop index value, if the spawn sits in an unrolled loop.
+func (u *unitState) spawnGo(call *ast.CallExpr, bind map[types.Object]int64) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := u.tr.info.Uses[fun]
+		fd := u.tr.funcDecls[obj]
+		if fd == nil || fd.Body == nil {
+			u.declinef(call, "goroutine target",
+				"%s is not a same-package named function or function literal", fun.Name)
+		}
+		if fd.Type.Results.NumFields() > 0 {
+			u.declinef(call, "goroutine result", "a goroutine's return value is discarded; remove it")
+		}
+		u.members[obj] = true
+		t := u.newThread(fun.Name)
+		t.bindParams(fd.Type.Params, call.Args, bind, call)
+		t.lowerBlock(fd.Body.List)
+		u.finishThread(t)
+	case *ast.FuncLit:
+		if fun.Type.Results.NumFields() > 0 {
+			u.declinef(call, "goroutine result", "a goroutine's return value is discarded; remove it")
+		}
+		t := u.newThread("g")
+		// A closure may capture the spawn-loop index; each unrolled copy
+		// binds it to that iteration's constant.
+		for obj, k := range bind {
+			if usesObj(u.tr.info, fun.Body, obj) {
+				r := t.defineReg(obj, obj.Name())
+				t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(u.domainVal(k, fun))}, fun)
+			}
+		}
+		t.bindParams(fun.Type.Params, call.Args, bind, call)
+		t.lowerBlock(fun.Body.List)
+		u.finishThread(t)
+	default:
+		u.declinef(call, "goroutine target",
+			"a goroutine must call a same-package named function or a function literal")
+	}
+}
+
+// bindParams assigns each parameter its (compile-time constant)
+// argument value at thread start.
+func (t *threadLowering) bindParams(params *ast.FieldList, args []ast.Expr, bind map[types.Object]int64, at ast.Node) {
+	if params == nil {
+		return
+	}
+	i := 0
+	for _, field := range params.List {
+		if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+			t.u.declinef(at, "variadic goroutine", "variadic spawn targets are not modeled")
+		}
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil} // unnamed parameter still consumes an argument
+		}
+		for _, name := range names {
+			if i >= len(args) {
+				t.u.declinef(at, "goroutine arguments", "argument count mismatch")
+			}
+			v := t.u.spawnArgVal(args[i], bind)
+			if name != nil && name.Name != "_" {
+				obj := t.u.tr.info.Defs[name]
+				r := t.defineReg(obj, name.Name)
+				t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(v)}, args[i])
+			}
+			i++
+		}
+	}
+	if i < len(args) {
+		t.u.declinef(at, "goroutine arguments", "argument count mismatch")
+	}
+}
+
+// spawnArgVal evaluates a goroutine argument: a compile-time constant,
+// or the enclosing spawn loop's index.
+func (u *unitState) spawnArgVal(e ast.Expr, bind map[types.Object]int64) lang.Val {
+	if n, ok := u.intConst(e); ok {
+		return u.domainVal(n, e)
+	}
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if k, ok := bind[u.tr.info.Uses[id]]; ok {
+			return u.domainVal(k, e)
+		}
+	}
+	u.declinef(e, "non-constant goroutine argument",
+		"goroutine arguments must be compile-time constants (or the spawn loop's index)")
+	panic("unreachable")
+}
+
+// intConst folds e when the type checker proved it an integer or bool
+// constant. No domain check: callers that emit the value go through
+// domainVal.
+func (u *unitState) intConst(e ast.Expr) (int64, bool) {
+	tv, ok := u.tr.info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int:
+		n, exact := constant.Int64Val(tv.Value)
+		return n, exact
+	case constant.Bool:
+		if constant.BoolVal(tv.Value) {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// domainVal checks a constant against the unit's value domain.
+func (u *unitState) domainVal(n int64, at ast.Node) lang.Val {
+	if n < 0 {
+		u.declinef(at, "negative constant",
+			"constant %d has no value in the wrap-around domain [0, vals)", n)
+	}
+	if n >= int64(u.valCount) {
+		u.declinef(at, "oversize constant",
+			"constant %d exceeds the modeled domain [0, %d); raise //rocker:vals", n, u.valCount)
+	}
+	return lang.Val(n)
+}
+
+// countedLoop is a `for i := a; i < b; i++` header with constant
+// bounds whose index the body never writes.
+type countedLoop struct {
+	obj   types.Object
+	name  string
+	from  int64
+	count int64
+}
+
+func (u *unitState) countedHeader(fs *ast.ForStmt) (countedLoop, bool) {
+	var h countedLoop
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return h, false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return h, false
+	}
+	from, ok := u.intConst(init.Rhs[0])
+	if !ok {
+		return h, false
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return h, false
+	}
+	cid, ok := unparen(cond.X).(*ast.Ident)
+	if !ok || u.tr.info.Uses[cid] != u.tr.info.Defs[id] {
+		return h, false
+	}
+	to, ok := u.intConst(cond.Y)
+	if !ok {
+		return h, false
+	}
+	post, ok := fs.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return h, false
+	}
+	pid, ok := unparen(post.X).(*ast.Ident)
+	if !ok || u.tr.info.Uses[pid] != u.tr.info.Defs[id] {
+		return h, false
+	}
+	obj := u.tr.info.Defs[id]
+	if writesObj(u.tr.info, fs.Body, obj) {
+		return h, false
+	}
+	count := to - from
+	if cond.Op == token.LEQ {
+		count++
+	}
+	if count < 0 {
+		count = 0
+	}
+	return countedLoop{obj: obj, name: id.Name, from: from, count: count}, true
+}
+
+// writesObj reports whether body assigns to (or takes the address of)
+// the variable obj.
+func writesObj(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	resolve := func(e ast.Expr) types.Object {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if resolve(lhs) == obj {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if resolve(s.X) == obj {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND && resolve(s.X) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObj reports whether body references obj.
+func usesObj(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statement lowering.
+
+func (t *threadLowering) lowerBlock(list []ast.Stmt) {
+	for _, st := range list {
+		t.lowerStmt(st)
+	}
+}
+
+func (t *threadLowering) lowerStmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		t.lowerBlock(s.List)
+	case *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		t.lowerExprStmt(s)
+	case *ast.AssignStmt:
+		t.lowerAssign(s)
+	case *ast.IncDecStmt:
+		op := lang.OpAdd
+		if s.Tok == token.DEC {
+			op = lang.OpSub
+		}
+		t.lowerOpAssign(s.X, op, lang.Const(1), s)
+	case *ast.IfStmt:
+		t.lowerIf(s)
+	case *ast.ForStmt:
+		t.lowerFor(s)
+	case *ast.ReturnStmt:
+		t.lowerReturn(s)
+	case *ast.BranchStmt:
+		t.lowerBranch(s)
+	case *ast.DeclStmt:
+		t.lowerDecl(s)
+	case *ast.GoStmt:
+		t.u.declinef(s, "nested goroutine", "goroutines may only be spawned by the driver")
+	case *ast.RangeStmt:
+		t.u.declinef(s, "range loop", "range loops are not modeled; use a counted for loop")
+	case *ast.SendStmt:
+		t.u.declinef(s, "channel send", "channels are not modeled")
+	case *ast.SelectStmt:
+		t.u.declinef(s, "select", "channels are not modeled")
+	case *ast.DeferStmt:
+		t.u.declinef(s, "defer", "deferred calls are not modeled")
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		t.u.declinef(s, "switch", "switch statements are not modeled; use if/else")
+	case *ast.LabeledStmt:
+		t.u.declinef(s, "label", "labeled statements are not modeled")
+	default:
+		t.u.declinef(st, "unsupported statement", "%T is outside the modeled subset", st)
+	}
+}
+
+func (t *threadLowering) lowerExprStmt(es *ast.ExprStmt) {
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		t.u.declinef(es, "expression statement", "only calls may appear as statements")
+	}
+	// Scheduling hints are no-ops under the model.
+	if pkg, name := t.u.pkgFunc(call); (pkg == "runtime" && name == "Gosched") || (pkg == "time" && name == "Sleep") {
+		return
+	}
+	if t.u.isPanicCall(call) {
+		// Builtin panic: an assertion that always fails if reached.
+		t.emit(lang.Inst{Kind: lang.IAssert, E: lang.Const(0)}, es)
+		return
+	}
+	if mem, c, method, ok := t.atomicCall(call); ok {
+		switch method {
+		case "Store":
+			v := t.lowerExpr(call.Args[0])
+			t.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: v}, es)
+		case "Load":
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IRead, Reg: r, Mem: mem}, es)
+		case "Add":
+			d := t.lowerExpr(call.Args[0])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IFADD, Reg: r, Mem: mem, E: d}, es)
+		case "Swap":
+			v := t.lowerExpr(call.Args[0])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.IXCHG, Reg: r, Mem: mem, E: v}, es)
+		case "CompareAndSwap":
+			old := t.lowerExpr(call.Args[0])
+			niu := t.lowerExpr(call.Args[1])
+			r := t.tempReg(c.obj.Name())
+			t.emit(lang.Inst{Kind: lang.ICAS, Reg: r, Mem: mem, ER: old, EW: niu}, es)
+		}
+		return
+	}
+	if fd := t.u.inlinableCallee(call); fd != nil {
+		t.inlineCall(call, fd)
+		return
+	}
+	t.u.declinef(es, "unmodeled call", "call to %s is outside the modeled subset", exprString(call.Fun))
+}
+
+var assignOps = map[token.Token]lang.BinOp{
+	token.ADD_ASSIGN: lang.OpAdd,
+	token.SUB_ASSIGN: lang.OpSub,
+	token.MUL_ASSIGN: lang.OpMul,
+	token.REM_ASSIGN: lang.OpMod,
+}
+
+func (t *threadLowering) lowerAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		t.u.declinef(as, "multi-assignment", "tuple assignments are not modeled")
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	if op, isOp := assignOps[as.Tok]; isOp {
+		t.lowerOpAssign(lhs, op, t.lowerExpr(rhs), as)
+		return
+	}
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		t.u.declinef(as, "assignment operator", "operator %s is not modeled", as.Tok)
+	}
+	if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		t.lowerExpr(rhs) // evaluate for memory effects, discard the value
+		return
+	}
+	if as.Tok == token.DEFINE {
+		id := unparen(lhs).(*ast.Ident)
+		v := t.lowerExpr(rhs)
+		r := t.defineReg(t.u.tr.info.Defs[id], id.Name)
+		t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: v}, as)
+		return
+	}
+	switch target := unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := t.u.tr.info.Uses[target]
+		if r, isReg := t.regs[obj]; isReg {
+			v := t.lowerExpr(rhs)
+			t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: v}, as)
+			return
+		}
+		if c, isCell := t.u.cellFor(target); isCell {
+			if !c.na {
+				t.u.declinef(as, "atomic assignment", "assign to %s via Store", target.Name)
+			}
+			v := t.lowerExpr(rhs)
+			t.emit(lang.Inst{Kind: lang.IWrite, Mem: lang.MemRef{Base: c.base, Size: 1}, E: v}, as)
+			return
+		}
+		t.u.declinef(as, "unmodeled assignment target", "%s is neither a local nor a modeled cell", target.Name)
+	case *ast.IndexExpr:
+		mem, c := t.cellIndex(target)
+		if !c.na {
+			t.u.declinef(as, "atomic assignment", "assign to %s via Store", c.obj.Name())
+		}
+		v := t.lowerExpr(rhs)
+		t.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: v}, as)
+	default:
+		t.u.declinef(as, "unmodeled assignment target", "%T is not assignable in the modeled subset", lhs)
+	}
+}
+
+// lowerOpAssign desugars x op= rhs (and ++/--). The index of an array
+// target is evaluated once, as in Go.
+func (t *threadLowering) lowerOpAssign(lhs ast.Expr, op lang.BinOp, rhs *lang.Expr, at ast.Node) {
+	switch target := unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := t.u.tr.info.Uses[target]
+		if r, isReg := t.regs[obj]; isReg {
+			t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Bin(op, lang.RegE(r), rhs)}, at)
+			return
+		}
+		if c, isCell := t.u.cellFor(target); isCell {
+			if !c.na {
+				t.u.declinef(at, "atomic update", "update %s via Add/Swap/CompareAndSwap", target.Name)
+			}
+			cur := t.tempReg(target.Name)
+			t.emit(lang.Inst{Kind: lang.IRead, Reg: cur, Mem: lang.MemRef{Base: c.base, Size: 1}}, at)
+			t.emit(lang.Inst{Kind: lang.IWrite, Mem: lang.MemRef{Base: c.base, Size: 1}, E: lang.Bin(op, lang.RegE(cur), rhs)}, at)
+			return
+		}
+		t.u.declinef(at, "unmodeled assignment target", "%s is neither a local nor a modeled cell", target.Name)
+	case *ast.IndexExpr:
+		mem, c := t.cellIndex(target)
+		if !c.na {
+			t.u.declinef(at, "atomic update", "update %s via Add/Swap/CompareAndSwap", c.obj.Name())
+		}
+		cur := t.tempReg(c.obj.Name())
+		t.emit(lang.Inst{Kind: lang.IRead, Reg: cur, Mem: mem}, at)
+		t.emit(lang.Inst{Kind: lang.IWrite, Mem: mem, E: lang.Bin(op, lang.RegE(cur), rhs)}, at)
+	default:
+		t.u.declinef(at, "unmodeled assignment target", "%T is not assignable in the modeled subset", lhs)
+	}
+}
+
+func (t *threadLowering) lowerIf(is *ast.IfStmt) {
+	if is.Init != nil {
+		t.lowerStmt(is.Init)
+	}
+	// `if cond { panic(...) }` is the assertion idiom: assert !cond.
+	if is.Else == nil && len(is.Body.List) == 1 {
+		if es, ok := is.Body.List[0].(*ast.ExprStmt); ok {
+			if call, ok := unparen(es.X).(*ast.CallExpr); ok && t.u.isPanicCall(call) {
+				cond := t.lowerExpr(is.Cond)
+				t.emit(lang.Inst{Kind: lang.IAssert, E: lang.Not(cond)}, is)
+				return
+			}
+		}
+	}
+	cond := t.lowerExpr(is.Cond)
+	jf := t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Not(cond)}, is)
+	t.lowerStmt(is.Body)
+	if is.Else == nil {
+		t.patch(jf, len(t.insts))
+		return
+	}
+	je := t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, is.Else)
+	t.patch(jf, len(t.insts))
+	t.lowerStmt(is.Else)
+	t.patch(je, len(t.insts))
+}
+
+func (t *threadLowering) lowerFor(fs *ast.ForStmt) {
+	// Blocking spin shapes first: modeling a busy-wait as a goto loop
+	// introduces executions where the loop reads a stale value forever,
+	// which manifests as spurious robustness violations; wait/BCAS are
+	// the language's primitives for exactly these shapes.
+	if fs.Init == nil && fs.Post == nil && fs.Cond != nil && len(fs.Body.List) == 0 {
+		if t.trySpin(fs) {
+			return
+		}
+	}
+	if h, ok := t.u.countedHeader(fs); ok {
+		if h.count > maxUnroll {
+			t.u.declinef(fs, "oversize counted loop",
+				"loop unrolls to %d iterations (limit %d)", h.count, maxUnroll)
+		}
+		frame := &loopFrame{}
+		t.loops = append(t.loops, frame)
+		var r lang.Reg
+		bound := usesObj(t.u.tr.info, fs.Body, h.obj)
+		if bound {
+			r = t.defineReg(h.obj, h.name)
+		}
+		for k := h.from; k < h.from+h.count; k++ {
+			if bound {
+				// The constant index keeps constant propagation (and
+				// array-cell resolution) precise across the unrolled body.
+				t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: lang.Const(t.u.domainVal(k, fs))}, fs)
+			}
+			t.lowerBlock(fs.Body.List)
+			t.patchAll(frame.continues, len(t.insts))
+			frame.continues = nil
+		}
+		t.loops = t.loops[:len(t.loops)-1]
+		t.patchAll(frame.breaks, len(t.insts))
+		return
+	}
+	// General loop: head: if !cond goto end; body; continue: post; goto head.
+	if fs.Init != nil {
+		t.lowerStmt(fs.Init)
+	}
+	head := len(t.insts)
+	exit := -1
+	if fs.Cond != nil {
+		cond := t.lowerExpr(fs.Cond)
+		exit = t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Not(cond)}, fs)
+	}
+	frame := &loopFrame{}
+	t.loops = append(t.loops, frame)
+	t.lowerBlock(fs.Body.List)
+	t.loops = t.loops[:len(t.loops)-1]
+	t.patchAll(frame.continues, len(t.insts))
+	if fs.Post != nil {
+		t.lowerStmt(fs.Post)
+	}
+	t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1), Target: head}, fs)
+	end := len(t.insts)
+	if exit >= 0 {
+		t.patch(exit, end)
+	}
+	t.patchAll(frame.breaks, end)
+}
+
+// trySpin matches the two blocking busy-wait shapes:
+//
+//	for x.Load() != e {}              -> wait(x = e)
+//	for !x.CompareAndSwap(o, n) {}    -> BCAS(x, o, n)
+//
+// Both require the non-load operands to be pure: Go re-evaluates them
+// every iteration, so lifting a memory read out of the loop would be a
+// mistranslation (such loops fall through to the general goto loop).
+func (t *threadLowering) trySpin(fs *ast.ForStmt) bool {
+	switch cond := unparen(fs.Cond).(type) {
+	case *ast.BinaryExpr:
+		if cond.Op != token.NEQ {
+			return false
+		}
+		for _, flip := range []bool{false, true} {
+			loadSide, other := cond.X, cond.Y
+			if flip {
+				loadSide, other = cond.Y, cond.X
+			}
+			call, ok := unparen(loadSide).(*ast.CallExpr)
+			if !ok || t.hasMemEffects(other) || !t.pureIndexReceiver(call) {
+				continue
+			}
+			mem, _, method, isAtomic := t.atomicCall(call)
+			if !isAtomic || method != "Load" {
+				continue
+			}
+			e := t.lowerExpr(other)
+			t.emit(lang.Inst{Kind: lang.IWait, Mem: mem, E: e}, fs)
+			return true
+		}
+	case *ast.UnaryExpr:
+		if cond.Op != token.NOT {
+			return false
+		}
+		call, ok := unparen(cond.X).(*ast.CallExpr)
+		if !ok || !t.pureIndexReceiver(call) {
+			return false
+		}
+		mem, _, method, isAtomic := t.atomicCall(call)
+		if !isAtomic || method != "CompareAndSwap" {
+			return false
+		}
+		if t.hasMemEffects(call.Args[0]) || t.hasMemEffects(call.Args[1]) {
+			return false
+		}
+		er := t.lowerExpr(call.Args[0])
+		ew := t.lowerExpr(call.Args[1])
+		t.emit(lang.Inst{Kind: lang.IBCAS, Mem: mem, ER: er, EW: ew}, fs)
+		return true
+	}
+	return false
+}
+
+// pureIndexReceiver reports whether the receiver of a method call, if
+// indexed, has a pure index expression (required by the spin shapes,
+// which hoist the operand out of the loop).
+func (t *threadLowering) pureIndexReceiver(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if ix, isIndex := sel.X.(*ast.IndexExpr); isIndex {
+		return !t.hasMemEffects(ix.Index)
+	}
+	return true
+}
+
+func (t *threadLowering) lowerReturn(rs *ast.ReturnStmt) {
+	frame := t.rets[len(t.rets)-1]
+	if len(rs.Results) > 0 {
+		if !frame.hasResult || len(rs.Results) != 1 {
+			t.u.declinef(rs, "return value", "only single-result returns of inlined calls are modeled")
+		}
+		v := t.lowerExpr(rs.Results[0])
+		t.emit(lang.Inst{Kind: lang.IAssign, Reg: frame.resultReg, E: v}, rs)
+	}
+	frame.joins = append(frame.joins, t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, rs))
+}
+
+func (t *threadLowering) lowerBranch(bs *ast.BranchStmt) {
+	if bs.Label != nil {
+		t.u.declinef(bs, "labeled branch", "labeled break/continue is not modeled")
+	}
+	switch bs.Tok {
+	case token.BREAK, token.CONTINUE:
+		if len(t.loops) == 0 {
+			t.u.declinef(bs, "branch outside loop", "%s outside a for loop", bs.Tok)
+		}
+		frame := t.loops[len(t.loops)-1]
+		j := t.emit(lang.Inst{Kind: lang.IGoto, E: lang.Const(1)}, bs)
+		if bs.Tok == token.BREAK {
+			frame.breaks = append(frame.breaks, j)
+		} else {
+			frame.continues = append(frame.continues, j)
+		}
+	default:
+		t.u.declinef(bs, "branch", "%s is not modeled", bs.Tok)
+	}
+}
+
+func (t *threadLowering) lowerDecl(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || (gd.Tok != token.VAR && gd.Tok != token.CONST) {
+		t.u.declinef(ds, "declaration", "only var and const declarations are modeled")
+	}
+	if gd.Tok == token.CONST {
+		return // constants fold at use sites
+	}
+	for _, spec := range gd.Specs {
+		vs := spec.(*ast.ValueSpec)
+		if len(vs.Values) != 0 && len(vs.Values) != len(vs.Names) {
+			t.u.declinef(vs, "multi-value declaration", "tuple initialization is not modeled")
+		}
+		for i, name := range vs.Names {
+			var v *lang.Expr
+			if len(vs.Values) > 0 {
+				v = t.lowerExpr(vs.Values[i])
+			} else {
+				v = lang.Const(0)
+			}
+			if name.Name == "_" {
+				continue
+			}
+			obj := t.u.tr.info.Defs[name]
+			if _, ok := plainCellType(obj.Type()); !ok {
+				t.u.declinef(name, "local variable type",
+					"local %s has type %s, which the frontend does not model", name.Name, obj.Type())
+			}
+			r := t.defineReg(obj, name.Name)
+			t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: v}, ds)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inlining.
+
+// isPanicCall recognizes a call to the builtin panic.
+func (u *unitState) isPanicCall(call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj := u.tr.info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// inlinableCallee resolves a call to a same-package function with a
+// body; nil if the call is anything else.
+func (u *unitState) inlinableCallee(call *ast.CallExpr) *ast.FuncDecl {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fd := u.tr.funcDecls[u.tr.info.Uses[id]]
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	return fd
+}
+
+// pkgFunc identifies a call to another package's function, returning
+// its package path and name ("" if not such a call).
+func (u *unitState) pkgFunc(call *ast.CallExpr) (string, string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if u.tr.info.Selections[sel] != nil {
+		return "", "" // a method call, not pkg.Func
+	}
+	fn, ok := u.tr.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// inlineCall expands a same-package call in place: arguments evaluate
+// into the callee's parameter registers, returns jump to a join point,
+// the single result (if any) lands in a result register.
+func (t *threadLowering) inlineCall(call *ast.CallExpr, fd *ast.FuncDecl) (lang.Reg, bool) {
+	obj := t.u.tr.info.Uses[unparen(call.Fun).(*ast.Ident)]
+	for _, active := range t.inlining {
+		if active == obj {
+			t.u.declinef(call, "recursion", "%s is recursive; recursion is not modeled", fd.Name.Name)
+		}
+	}
+	if len(t.inlining) >= maxInlineDepth {
+		t.u.declinef(call, "deep inlining", "call nesting exceeds depth %d", maxInlineDepth)
+	}
+	t.u.members[obj] = true
+
+	// Bind parameters left to right (Go's evaluation order).
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+				t.u.declinef(call, "variadic call", "variadic functions are not modeled")
+			}
+			names := field.Names
+			if len(names) == 0 {
+				names = []*ast.Ident{nil}
+			}
+			for _, name := range names {
+				v := t.lowerExpr(call.Args[i])
+				if name != nil && name.Name != "_" {
+					pobj := t.u.tr.info.Defs[name]
+					r := t.defineReg(pobj, name.Name)
+					t.emit(lang.Inst{Kind: lang.IAssign, Reg: r, E: v}, call.Args[i])
+				}
+				i++
+			}
+		}
+	}
+
+	frame := &retFrame{}
+	if n := fd.Type.Results.NumFields(); n > 1 {
+		t.u.declinef(call, "multiple results", "%s returns %d values; at most one is modeled", fd.Name.Name, n)
+	} else if n == 1 {
+		frame.hasResult = true
+		field := fd.Type.Results.List[0]
+		if len(field.Names) == 1 {
+			// Named result: zero-initialized, returnable bare.
+			robj := t.u.tr.info.Defs[field.Names[0]]
+			frame.resultReg = t.defineReg(robj, field.Names[0].Name)
+		} else {
+			frame.resultReg = t.tempReg(fd.Name.Name)
+		}
+		t.emit(lang.Inst{Kind: lang.IAssign, Reg: frame.resultReg, E: lang.Const(0)}, call)
+	}
+
+	t.inlining = append(t.inlining, obj)
+	t.rets = append(t.rets, frame)
+	t.lowerBlock(fd.Body.List)
+	t.rets = t.rets[:len(t.rets)-1]
+	t.inlining = t.inlining[:len(t.inlining)-1]
+	t.patchAll(frame.joins, len(t.insts))
+	return frame.resultReg, frame.hasResult
+}

@@ -1,0 +1,75 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+)
+
+// onlyReadsSrc trips the analysis.Vet "read but never written" lint:
+// sig is only ever Loaded. The two Loads sit on lines 9 and 15.
+const onlyReadsSrc = `//rocker:vals 3
+package p
+
+import "sync/atomic"
+
+var sig atomic.Int32
+
+func watcher() {
+	if sig.Load() == 1 {
+		panic("early")
+	}
+}
+
+func observer() {
+	if sig.Load() == 1 {
+		panic("late")
+	}
+}
+
+func run() {
+	go watcher()
+	go observer()
+}
+`
+
+// TestVetFindingsCarryGoPositions pins that frontend-built programs
+// report Go source positions — not 0:0 or .lit coordinates — through
+// analysis.Vet findings, both via StaticFindings and through the full
+// LintUnit pipeline.
+func TestVetFindingsCarryGoPositions(t *testing.T) {
+	u := translateOne(t, onlyReadsSrc)
+
+	check := func(stage string, findings []Finding) {
+		t.Helper()
+		found := false
+		for _, f := range findings {
+			if !strings.Contains(f.Message, "never written") {
+				continue
+			}
+			found = true
+			if f.Severity != "warning" {
+				t.Errorf("%s: lint severity = %q, want warning", stage, f.Severity)
+			}
+			if f.Pos.Filename != "test.go" {
+				t.Errorf("%s: finding anchored in %q, want test.go", stage, f.Pos.Filename)
+			}
+			if f.Pos.Line != 9 && f.Pos.Line != 15 {
+				t.Errorf("%s: finding at line %d, want a sig.Load() line (9 or 15)", stage, f.Pos.Line)
+			}
+			if f.Pos.Column == 0 {
+				t.Errorf("%s: finding has no column: %v", stage, f)
+			}
+		}
+		if !found {
+			t.Errorf("%s: no 'read but never written' finding: %v", stage, findings)
+		}
+	}
+
+	check("StaticFindings", StaticFindings(u))
+
+	rep, err := LintUnit(u, LintOptions{Models: []string{"ra"}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("LintUnit", rep.Findings)
+}

@@ -1,0 +1,158 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lang"
+)
+
+// cellRef is one modeled shared cell: a package-level variable mapped
+// to a .lit location (or a contiguous block of them, for arrays).
+type cellRef struct {
+	obj    *types.Var
+	name   string   // sanitized .lit name
+	base   lang.Loc // first location index
+	size   int      // 1 for scalars, array length otherwise
+	na     bool     // plain Go variable -> non-atomic (§6) location
+	isBool bool     // atomic.Bool / bool: values are 0 or 1
+}
+
+// atomicTypeName returns the sync/atomic type name ("Int32", "Uint32",
+// "Bool") when t is one of the modeled typed atomics.
+func atomicTypeName(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Int32", "Uint32", "Bool":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// plainCellType reports whether t is a modeled plain (non-atomic)
+// scalar type.
+func plainCellType(t types.Type) (isBool, ok bool) {
+	basic, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return false, false
+	}
+	switch basic.Kind() {
+	case types.Int32, types.Uint32, types.Int, types.Uint, types.Int64, types.Uint64, types.Uint8, types.Int8:
+		return false, true
+	case types.Bool:
+		return true, true
+	}
+	return false, false
+}
+
+// classifyCellType inspects a package variable's type: scalar/array,
+// atomic/non-atomic. ok is false for anything the frontend does not
+// model (structs, slices, pointers, channels, ...).
+func classifyCellType(t types.Type) (size int, na, isBool, ok bool) {
+	if arr, isArr := t.Underlying().(*types.Array); isArr {
+		n := int(arr.Len())
+		if n < 1 || n > 32 {
+			return 0, false, false, false
+		}
+		s, na2, b, ok2 := classifyCellType(arr.Elem())
+		if !ok2 || s != 1 {
+			return 0, false, false, false // nested arrays unmodeled
+		}
+		return n, na2, b, true
+	}
+	if name, isAtomic := atomicTypeName(t); isAtomic {
+		return 1, false, name == "Bool", true
+	}
+	if b, isPlain := plainCellType(t); isPlain {
+		return 1, true, b, true
+	}
+	return 0, false, false, false
+}
+
+// cellFor resolves an identifier to a modeled cell, allocating its
+// location block on first use. Locations are numbered in first-use
+// order, which is deterministic for a fixed AST and independent of
+// identifier names (the digest-determinism tests pin this).
+func (u *unitState) cellFor(id *ast.Ident) (*cellRef, bool) {
+	obj := u.tr.info.Uses[id]
+	if obj == nil {
+		obj = u.tr.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() != u.tr.pkg.Scope() {
+		return nil, false // not a package-level variable
+	}
+	if c, seen := u.cells[obj]; seen {
+		return c, true
+	}
+	size, na, isBool, ok := classifyCellType(v.Type())
+	if !ok {
+		u.declinef(id, "unmodeled shared variable",
+			"package variable %s has type %s, which the frontend does not model", v.Name(), v.Type())
+	}
+	if u.nextLoc+size > 64 {
+		u.declinef(id, "too many locations",
+			"unit needs more than 64 location cells")
+	}
+	c := &cellRef{
+		obj:    v,
+		name:   sanitizeName(v.Name()),
+		base:   lang.Loc(u.nextLoc),
+		size:   size,
+		na:     na,
+		isBool: isBool,
+	}
+	// Array names and scalar names share the .lit namespace; first-use
+	// order also makes name collisions impossible to resolve lazily, so
+	// uniquify eagerly against earlier cells.
+	used := map[string]bool{}
+	for _, prev := range u.cellList {
+		used[prev.name] = true
+	}
+	c.name = uniqueName(c.name, used)
+	u.nextLoc += size
+	u.cells[obj] = c
+	u.cellList = append(u.cellList, c)
+	u.checkCellInit(c)
+	return c, true
+}
+
+// checkCellInit declines package variables with initializers other
+// than the zero value: .lit memory starts zeroed, so `var x int32 = 1`
+// would be silently mistranslated. An explicit zero initializer is
+// allowed.
+func (u *unitState) checkCellInit(c *cellRef) {
+	for _, f := range u.tr.files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				for i, name := range vs.Names {
+					if u.tr.info.Defs[name] != types.Object(c.obj) {
+						continue
+					}
+					if i < len(vs.Values) {
+						if n, isConst := u.intConst(vs.Values[i]); isConst && n == 0 {
+							continue
+						}
+					}
+					u.declinef(vs, "initialized shared variable",
+						"variable %s has a non-zero initializer; modeled memory starts zeroed", c.obj.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+// positionsSrc exercises every statement shape the parser stamps
+// positions on: plain accesses, RMWs, fences, waits, arrays, branches,
+// and labels.
+const positionsSrc = `program positions
+vals 4
+locs x y
+na d
+array buf 2
+
+thread left
+d := 1
+buf[0] := 2
+x := 1
+fence
+r1 := FADD(y, 1)
+end
+
+thread right
+RETRY:
+r2 := x
+if r2 = 0 goto RETRY
+wait(y = 1)
+r3 := CAS(x, 1, 2)
+r4 := buf[r3]
+assert r4 != 3
+end
+`
+
+// TestFormatRoundTripPositions pins that instruction positions survive
+// parser.Format round-trips: Format output reparses with every
+// instruction anchored to its own line of the listing, and a second
+// round-trip is a fixpoint (same text, same positions). Diagnostics on
+// a normalized listing (e.g. rockerd echoing a canonical program) stay
+// line-accurate because of this.
+func TestFormatRoundTripPositions(t *testing.T) {
+	p, err := parser.Parse(positionsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPositions(t, "original", p)
+
+	s1 := parser.Format(p)
+	p1, err := parser.Parse(s1)
+	if err != nil {
+		t.Fatalf("Format output does not reparse: %v\n%s", err, s1)
+	}
+	checkPositions(t, "round-trip 1", p1)
+
+	s2 := parser.Format(p1)
+	if s2 != s1 {
+		t.Errorf("Format is not a fixpoint:\n--- first\n%s\n--- second\n%s", s1, s2)
+	}
+	p2, err := parser.Parse(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPositions(t, "round-trip 2", p2)
+
+	for ti := range p1.Threads {
+		in1, in2 := p1.Threads[ti].Insts, p2.Threads[ti].Insts
+		if len(in1) != len(in2) {
+			t.Fatalf("thread %d: %d vs %d instructions", ti, len(in1), len(in2))
+		}
+		for pc := range in1 {
+			if in1[pc].Line != in2[pc].Line || in1[pc].Col != in2[pc].Col {
+				t.Errorf("thread %d pc %d: position drifted across round-trip: %d:%d vs %d:%d",
+					ti, pc, in1[pc].Line, in1[pc].Col, in2[pc].Line, in2[pc].Col)
+			}
+		}
+	}
+}
+
+// checkPositions asserts every instruction carries a non-zero position
+// and that lines are strictly increasing within a thread (each
+// instruction sits on its own source line).
+func checkPositions(t *testing.T, stage string, p *lang.Program) {
+	t.Helper()
+	for ti := range p.Threads {
+		prev := 0
+		for pc := range p.Threads[ti].Insts {
+			in := &p.Threads[ti].Insts[pc]
+			if in.Line == 0 || in.Col == 0 {
+				t.Errorf("%s: thread %d pc %d has no position (%d:%d)", stage, ti, pc, in.Line, in.Col)
+			}
+			if in.Line <= prev {
+				t.Errorf("%s: thread %d pc %d line %d not after previous line %d",
+					stage, ti, pc, in.Line, prev)
+			}
+			prev = in.Line
+		}
+	}
+}

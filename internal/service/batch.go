@@ -228,7 +228,7 @@ func (s *Server) batchOne(ctx context.Context, req VerifyRequest, forwardedFrom 
 
 	maxStates, timeout := s.clampLimits(req)
 	d := prog.CanonicalDigest(p)
-	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce)
+	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce, false)
 	line := BatchLine{Digest: d.String()}
 
 	if res, source := s.cachedResult(key); res != nil {
@@ -247,7 +247,7 @@ func (s *Server) batchOne(ctx context.Context, req VerifyRequest, forwardedFrom 
 	}
 
 	for {
-		j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
+		j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce, false)
 		switch outcome {
 		case submitDraining:
 			line.Status, line.Error = StatusCanceled, "server is draining"

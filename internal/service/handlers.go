@@ -66,6 +66,7 @@ type cachedJSON struct {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
@@ -181,7 +182,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 	maxStates, timeout := s.clampLimits(req)
 	d := prog.CanonicalDigest(p)
-	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce)
+	key := verkey.Key(d, req.Mode, maxStates, req.StaticPrune, req.Reduce, false)
 
 	if res, source := s.cachedResult(key); res != nil {
 		writeJSON(w, http.StatusOK, cachedJSON{Cached: true, Source: source, Result: res})
@@ -197,7 +198,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce)
+	j, outcome := s.submit(p, req.Source, req.Mode, maxStates, timeout, req.StaticPrune, req.Reduce, false)
 	switch outcome {
 	case submitSaturated:
 		w.Header().Set("Retry-After", "1")

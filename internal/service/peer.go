@@ -469,7 +469,7 @@ func (s *Server) runStolen(victim cluster.Member, spec cluster.StolenJob) {
 		case verr == nil:
 			if data, merr := json.Marshal(res); merr == nil {
 				push = cluster.PushedResult{Status: StatusDone, Result: data}
-				key := verkey.Key(prog.CanonicalDigest(p), spec.Mode, spec.MaxStates, spec.StaticPrune, spec.Reduce)
+				key := verkey.Key(prog.CanonicalDigest(p), spec.Mode, spec.MaxStates, spec.StaticPrune, spec.Reduce, false)
 				s.memoize(key, res, true)
 			} else {
 				push.Error = merr.Error()

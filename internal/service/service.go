@@ -327,10 +327,12 @@ func (s *Server) memoize(key string, res *Result, persist bool) {
 
 // submit admits a verification request as a new job. The caller has
 // already checked the caches (see cachedResult); a racing duplicate at
-// worst verifies twice, it never serves a wrong verdict.
-func (s *Server) submit(p *lang.Program, src, mode string, maxStates int, timeout time.Duration, staticPrune, reduce bool) (*job, submitOutcome) {
+// worst verifies twice, it never serves a wrong verdict. frontend marks
+// jobs born from /v1/analyze (Go-lifted programs), which memoize under
+// their own verkey bit.
+func (s *Server) submit(p *lang.Program, src, mode string, maxStates int, timeout time.Duration, staticPrune, reduce, frontend bool) (*job, submitOutcome) {
 	d := prog.CanonicalDigest(p)
-	key := verkey.Key(d, mode, maxStates, staticPrune, reduce)
+	key := verkey.Key(d, mode, maxStates, staticPrune, reduce, frontend)
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{

@@ -25,16 +25,23 @@ import (
 // exploration bound, and flagBits packs the request knobs that change the
 // *reported* result without changing the verdict: bit 1 = staticPrune
 // (certificate/prunedLocs fields, possibly 0 states), bit 2 = reduce
-// (reduction counters, smaller state counts). Engine worker counts are
-// deliberately absent: verdicts and exact-mode state counts are
+// (reduction counters, smaller state counts), bit 4 = frontend (the
+// verdict was computed for a program lifted from Go source by
+// internal/frontend — /v1/analyze results never alias hand-written .lit
+// submissions of the same digest, so a frontend regression can be flushed
+// from the stores without touching verify traffic). Engine worker counts
+// are deliberately absent: verdicts and exact-mode state counts are
 // worker-independent by the engines' determinism contract.
-func Key(d prog.Digest, mode string, maxStates int, staticPrune, reduce bool) string {
+func Key(d prog.Digest, mode string, maxStates int, staticPrune, reduce, frontend bool) string {
 	bits := 0
 	if staticPrune {
 		bits = 1
 	}
 	if reduce {
 		bits |= 2
+	}
+	if frontend {
+		bits |= 4
 	}
 	return fmt.Sprintf("%s|%s|%d|%d", d, mode, maxStates, bits)
 }

@@ -16,21 +16,23 @@ func TestKeyPinned(t *testing.T) {
 		d[i] = byte(i + 1) // 0102030405060708090a0b0c0d0e0f10
 	}
 	cases := []struct {
-		mode       string
-		maxStates  int
-		prune, red bool
-		want       string
+		mode            string
+		maxStates       int
+		prune, red, fro bool
+		want            string
 	}{
-		{"ra", 8 << 20, false, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|0"},
-		{"ra", 8 << 20, true, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|1"},
-		{"ra", 8 << 20, false, true, "0102030405060708090a0b0c0d0e0f10|ra|8388608|2"},
-		{"sra", 1000, true, true, "0102030405060708090a0b0c0d0e0f10|sra|1000|3"},
-		{"state-tso", 42, false, false, "0102030405060708090a0b0c0d0e0f10|state-tso|42|0"},
-		{"tso", 42, false, false, "0102030405060708090a0b0c0d0e0f10|tso|42|0"},
+		{"ra", 8 << 20, false, false, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|0"},
+		{"ra", 8 << 20, true, false, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|1"},
+		{"ra", 8 << 20, false, true, false, "0102030405060708090a0b0c0d0e0f10|ra|8388608|2"},
+		{"sra", 1000, true, true, false, "0102030405060708090a0b0c0d0e0f10|sra|1000|3"},
+		{"ra", 8 << 20, false, false, true, "0102030405060708090a0b0c0d0e0f10|ra|8388608|4"},
+		{"sra", 1000, true, true, true, "0102030405060708090a0b0c0d0e0f10|sra|1000|7"},
+		{"state-tso", 42, false, false, false, "0102030405060708090a0b0c0d0e0f10|state-tso|42|0"},
+		{"tso", 42, false, false, false, "0102030405060708090a0b0c0d0e0f10|tso|42|0"},
 	}
 	for _, c := range cases {
-		if got := Key(d, c.mode, c.maxStates, c.prune, c.red); got != c.want {
-			t.Errorf("Key(%s,%d,%v,%v) = %q, want %q", c.mode, c.maxStates, c.prune, c.red, got, c.want)
+		if got := Key(d, c.mode, c.maxStates, c.prune, c.red, c.fro); got != c.want {
+			t.Errorf("Key(%s,%d,%v,%v,%v) = %q, want %q", c.mode, c.maxStates, c.prune, c.red, c.fro, got, c.want)
 		}
 	}
 }
@@ -39,13 +41,14 @@ func TestKeyPinned(t *testing.T) {
 func TestKeyDistinguishesKnobs(t *testing.T) {
 	var d1, d2 prog.Digest
 	d2[0] = 0xff
-	base := Key(d1, "ra", 100, false, false)
+	base := Key(d1, "ra", 100, false, false, false)
 	for name, other := range map[string]string{
-		"digest":      Key(d2, "ra", 100, false, false),
-		"mode":        Key(d1, "sc", 100, false, false),
-		"maxStates":   Key(d1, "ra", 101, false, false),
-		"staticPrune": Key(d1, "ra", 100, true, false),
-		"reduce":      Key(d1, "ra", 100, false, true),
+		"digest":      Key(d2, "ra", 100, false, false, false),
+		"mode":        Key(d1, "sc", 100, false, false, false),
+		"maxStates":   Key(d1, "ra", 101, false, false, false),
+		"staticPrune": Key(d1, "ra", 100, true, false, false),
+		"reduce":      Key(d1, "ra", 100, false, true, false),
+		"frontend":    Key(d1, "ra", 100, false, false, true),
 	} {
 		if other == base {
 			t.Errorf("changing %s does not change the key %q", name, base)
@@ -55,7 +58,7 @@ func TestKeyDistinguishesKnobs(t *testing.T) {
 	// answer the same question by different explorations with different
 	// state counts — the cache must never serve one's result for the
 	// other, in the LRU, the vstore, or across cluster peers.
-	if Key(d1, "tso", 100, false, false) == Key(d1, "state-tso", 100, false, false) {
+	if Key(d1, "tso", 100, false, false, false) == Key(d1, "state-tso", 100, false, false, false) {
 		t.Error("keys for modes tso and state-tso alias")
 	}
 }
